@@ -1,0 +1,242 @@
+// Command sopfigures regenerates every figure of the paper's evaluation
+// section (Figs. 1–12) plus the Sec. 5.3 estimator comparison.
+//
+// Usage:
+//
+//	sopfigures [-scale quick|paper|test] [-seed N] [-out DIR] <figure>
+//
+// where <figure> is one of fig1 … fig12, estimators, or all. Each figure is
+// written to DIR as CSV (curves) and/or SVG (configurations), and a compact
+// ASCII rendition is printed to stdout. The default quick scale preserves
+// the paper's curve shapes at laptop cost; -scale paper reproduces the full
+// ensemble sizes (m = 500, 10 repeat draws — hours of CPU for the sweeps).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "ensemble scale: quick, paper, or test")
+		seed      = flag.Uint64("seed", 2012, "master seed")
+		outDir    = flag.String("out", "out", "output directory")
+		mOverride = flag.Int("m", 0, "override the ensemble size M of the chosen scale")
+		stepsOv   = flag.Int("steps", 0, "override t_max of the chosen scale")
+		repeatsOv = flag.Int("repeats", 0, "override the random-type repeat draws of the chosen scale")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sopfigures [flags] <fig1|...|fig12|estimators|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var sc experiment.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiment.QuickScale()
+	case "paper":
+		sc = experiment.PaperScale()
+	case "test":
+		sc = experiment.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "sopfigures: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *mOverride > 0 {
+		sc.M = *mOverride
+	}
+	if *stepsOv > 0 {
+		sc.Steps = *stepsOv
+	}
+	if *repeatsOv > 0 {
+		sc.Repeats = *repeatsOv
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	r := runner{sc: sc, seed: *seed, out: *outDir}
+
+	target := strings.ToLower(flag.Arg(0))
+	all := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "estimators"}
+	if target == "all" {
+		for _, f := range all {
+			if err := r.run(f); err != nil {
+				fatal(fmt.Errorf("%s: %w", f, err))
+			}
+		}
+		return
+	}
+	if err := r.run(target); err != nil {
+		fatal(fmt.Errorf("%s: %w", target, err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sopfigures:", err)
+	os.Exit(1)
+}
+
+type runner struct {
+	sc   experiment.Scale
+	seed uint64
+	out  string
+}
+
+func (r runner) run(fig string) error {
+	fmt.Printf("== %s ==\n", fig)
+	switch fig {
+	case "fig1":
+		cfgp, err := experiment.Fig1Example(r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveConfigs(fig, []experiment.TypedConfig{*cfgp})
+	case "fig2":
+		return r.saveFigure(experiment.Fig2ForceCurves())
+	case "fig3":
+		cfgs, err := experiment.Fig3Equilibria(r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveConfigs(fig, cfgs)
+	case "fig4":
+		res, err := experiment.Fig4Pipeline(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		fd := resultFigure("fig4", "Multi-information vs time (n=50, l=3, rc=5, F1)", res.Times, res.MI)
+		fmt.Printf("equilibrated fraction: %.2f\n", res.EquilibratedFraction)
+		return r.saveFigure(fd)
+	case "fig5":
+		res, err := experiment.Fig5SingleTypeRings(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveFigure(resultFigure("fig5",
+			"Multi-information vs time (20 particles, one type, F1, rc > 2r)", res.Times, res.MI))
+	case "fig6":
+		res, err := experiment.Fig4Pipeline(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		snaps := experiment.Fig6Snapshots(res, []int{60, res.Times[len(res.Times)-1]}, 4)
+		return r.saveConfigs(fig, snaps)
+	case "fig7":
+		res, err := experiment.Fig5SingleTypeRings(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		inner, outer := experiment.RingRadialStats(res)
+		fmt.Printf("inner-ring scatter %.3f vs outer-ring scatter %.3f (paper: inner ≫ outer)\n", inner, outer)
+		ov := experiment.Fig7AlignedOverlay(res)
+		return r.saveConfigs(fig, []experiment.TypedConfig{*ov})
+	case "fig8":
+		fd, err := experiment.Fig8TypeCountSweep(r.sc, 10, r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveFigure(fd)
+	case "fig9":
+		fd, err := experiment.Fig9CutoffSweep(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveFigure(fd)
+	case "fig10":
+		fd, err := experiment.Fig10TypesVsCutoff(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveFigure(fd)
+	case "fig11":
+		fd, err := experiment.Fig11Decomposition(r.sc, r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveFigure(fd)
+	case "fig12":
+		cfgs, err := experiment.Fig12EmergentStructures(r.seed)
+		if err != nil {
+			return err
+		}
+		return r.saveConfigs(fig, cfgs)
+	case "estimators":
+		table := experiment.EstimatorComparison(5, 200, max(2, r.sc.Repeats), 0.6, 4, r.seed)
+		fmt.Print(table.String())
+		return os.WriteFile(filepath.Join(r.out, "estimators.txt"), []byte(table.String()), 0o644)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func resultFigure(id, title string, times []int, mi []float64) *experiment.FigureData {
+	xs := make([]float64, len(times))
+	for i, t := range times {
+		xs[i] = float64(t)
+	}
+	return &experiment.FigureData{
+		ID:     id,
+		Title:  title,
+		Series: []experiment.Series{{Name: "I(W1..Wn)", X: xs, Y: mi}},
+	}
+}
+
+func (r runner) saveFigure(fd *experiment.FigureData) error {
+	names := make([]string, len(fd.Series))
+	xs := make([][]float64, len(fd.Series))
+	ys := make([][]float64, len(fd.Series))
+	chart := &plot.Chart{Title: fd.Title, XLabel: "t", YLabel: "bits"}
+	for i, s := range fd.Series {
+		names[i] = s.Name
+		xs[i] = s.X
+		ys[i] = s.Y
+		chart.Add(s.Name, s.X, s.Y)
+	}
+	fmt.Print(chart.Render(72, 18))
+	if fd.Notes != "" {
+		fmt.Println("notes:", fd.Notes)
+	}
+
+	csvPath := filepath.Join(r.out, fd.ID+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteSeriesCSV(f, names, xs, ys); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	svg := plot.SVGLines(fd.Title, names, xs, ys, 560)
+	if err := os.WriteFile(filepath.Join(r.out, fd.ID+".svg"), []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", csvPath, filepath.Join(r.out, fd.ID+".svg"))
+	return nil
+}
+
+func (r runner) saveConfigs(fig string, cfgs []experiment.TypedConfig) error {
+	for i, c := range cfgs {
+		name := fmt.Sprintf("%s-%02d.svg", fig, i)
+		svg := plot.SVGScatter(c.Label, c.Pos, c.Types, 480)
+		if err := os.WriteFile(filepath.Join(r.out, name), []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s, %d particles)\n", filepath.Join(r.out, name), c.Label, len(c.Pos))
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadNumericCSVSkipsHeader(t *testing.T) {
+	path := writeTemp(t, "x,y\n1,2\n3,4\n")
+	rows, err := readNumericCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != 1 || rows[1][1] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestReadNumericCSVNoHeader(t *testing.T) {
+	path := writeTemp(t, "1,2\n3,4\n")
+	rows, err := readNumericCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestReadNumericCSVRejectsMidFileGarbage(t *testing.T) {
+	path := writeTemp(t, "1,2\nfoo,4\n")
+	if _, err := readNumericCSV(path); err == nil {
+		t.Fatal("garbage row accepted")
+	}
+}
+
+func TestReadNumericCSVMissingFile(t *testing.T) {
+	if _, err := readNumericCSV(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuildDatasetDefaultDims(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	ds, err := buildDataset(rows, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumVars() != 3 || ds.NumSamples() != 2 || ds.Dim(0) != 1 {
+		t.Fatalf("dataset shape wrong: vars=%d samples=%d", ds.NumVars(), ds.NumSamples())
+	}
+	if ds.Var(1, 2)[0] != 6 {
+		t.Fatal("values misplaced")
+	}
+}
+
+func TestBuildDatasetExplicitDims(t *testing.T) {
+	rows := [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	ds, err := buildDataset(rows, "2,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumVars() != 2 || ds.Dim(0) != 2 {
+		t.Fatal("dims not applied")
+	}
+	v := ds.Var(0, 1)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Var(0,1) = %v", v)
+	}
+}
+
+func TestBuildDatasetDimsMismatch(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}}
+	if _, err := buildDataset(rows, "2,2"); err == nil {
+		t.Fatal("dims/columns mismatch accepted")
+	}
+}
+
+func TestBuildDatasetRaggedRows(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3}}
+	if _, err := buildDataset(rows, ""); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad integer accepted")
+	}
+}
+
+func TestEndToEndEstimateOnGeneratedData(t *testing.T) {
+	// Strongly dependent pair through the full CSV path.
+	content := "x,y\n"
+	for i := 0; i < 300; i++ {
+		x := math.Sin(float64(i) * 12.9898)
+		x = x - math.Floor(x) // crude deterministic pseudo-noise in [0,1)
+		content += formatRow(x, x*2+0.001*float64(i%7))
+	}
+	path := writeTemp(t, content)
+	rows, err := readNumericCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := buildDataset(rows, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 300 || ds.NumVars() != 2 {
+		t.Fatal("dataset shape wrong")
+	}
+}
+
+func formatRow(x, y float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) + "," + strconv.FormatFloat(y, 'g', -1, 64) + "\n"
+}

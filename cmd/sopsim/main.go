@@ -1,0 +1,144 @@
+// Command sopsim runs a single particle simulation and reports its
+// trajectory summary: terminal classification (equilibrium, limit cycle, or
+// still evolving), net-force trace, and an ASCII/SVG rendering of the final
+// configuration. It is the quickest way to explore interaction matrices
+// before committing to a full measurement pipeline.
+//
+// Usage:
+//
+//	sopsim [-n 30] [-types 3] [-force F1|F2] [-rc 5] [-steps 250]
+//	       [-seed 1] [-svg out.svg] [-csv out.csv]
+//
+// The interaction matrices are drawn randomly from the paper's ranges
+// (F1: k ∈ [1,10), r ∈ [1,5); F2: σ = 1, τ ∈ [1,10)); pass -seed to vary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/forces"
+	"repro/internal/plot"
+	"repro/internal/rngx"
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 30, "number of particles")
+		l         = flag.Int("types", 3, "number of particle types")
+		forceName = flag.String("force", "F1", "force-scaling function: F1 or F2")
+		rc        = flag.Float64("rc", 5, "cut-off radius (0 = infinite)")
+		steps     = flag.Int("steps", 250, "integration steps")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		svgPath   = flag.String("svg", "", "write final configuration as SVG")
+		csvPath   = flag.String("csv", "", "write net-force trace as CSV")
+	)
+	flag.Parse()
+
+	rng := rngx.New(*seed)
+	var force forces.Scaling
+	switch strings.ToUpper(*forceName) {
+	case "F1":
+		force = forces.RandomF1(*l, 1, 10, 1, 5, rng)
+	case "F2":
+		force = forces.RandomF2(*l, 1, 10, 1, 10, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "sopsim: unknown force %q\n", *forceName)
+		os.Exit(2)
+	}
+	cutoff := *rc
+	if cutoff == 0 {
+		cutoff = math.Inf(1)
+	}
+	cfg := sim.Config{N: *n, Force: force, Cutoff: cutoff}
+	sys, err := sim.New(cfg, rngx.Split(*seed, 1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sopsim:", err)
+		os.Exit(1)
+	}
+
+	detector := &sim.CycleDetector{Tolerance: 0.15, MaxPeriod: 40}
+	var times, netForces []float64
+	equilibriumAt := -1
+	for k := 0; k < *steps; k++ {
+		sys.Step()
+		times = append(times, float64(sys.Time()))
+		netForces = append(netForces, sys.NetForce())
+		detector.Observe(sys.PositionsRef())
+		if equilibriumAt < 0 && sys.InEquilibrium() {
+			equilibriumAt = sys.Time()
+		}
+	}
+
+	fmt.Printf("force %s with %d types, %d particles, rc=%g, %d steps\n",
+		force.Name(), *l, *n, cutoff, *steps)
+	fmt.Printf("final net force: %.3f (threshold %.3f)\n",
+		sys.NetForce(), sys.Config().EquilibriumThreshold)
+	switch {
+	case equilibriumAt >= 0:
+		fmt.Printf("terminal state: equilibrium (first reached at step %d)\n", equilibriumAt)
+	case detector.Period() > 1:
+		fmt.Printf("terminal state: limit cycle, period %d steps\n", detector.Period())
+	case detector.Period() == 1:
+		fmt.Println("terminal state: stationary (recurrence, force criterion not met)")
+	default:
+		fmt.Println("terminal state: still evolving (paper Sec. 6: likely slow expansion)")
+	}
+
+	chart := &plot.Chart{Title: "net deterministic force over time", XLabel: "t", YLabel: "sum |F|"}
+	chart.Add("netforce", times, netForces)
+	fmt.Print(chart.Render(72, 12))
+	fmt.Print(renderASCII(sys.Positions(), sys.Types()))
+
+	if *svgPath != "" {
+		svg := plot.SVGScatter("sopsim final configuration", sys.Positions(), sys.Types(), 480)
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sopsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sopsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := plot.WriteSeriesCSV(f, []string{"netforce"}, [][]float64{times}, [][]float64{netForces}); err != nil {
+			fmt.Fprintln(os.Stderr, "sopsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}
+
+// renderASCII draws the typed configuration on a character grid, digits
+// being particle types — the terminal equivalent of the paper's figures.
+func renderASCII(pos []vec.Vec2, types []int) string {
+	const w, h = 64, 24
+	min, max := vec.BoundingBox(pos)
+	spanX := math.Max(max.X-min.X, 1e-9)
+	spanY := math.Max(max.Y-min.Y, 1e-9)
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for i, p := range pos {
+		c := int((p.X - min.X) / spanX * float64(w-1))
+		r := int((max.Y - p.Y) / spanY * float64(h-1))
+		grid[r][c] = byte('0' + types[i]%10)
+	}
+	var b strings.Builder
+	b.WriteString("final configuration (digits = types):\n")
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+// Two measures of self-organization side by side (Sec. 3): the paper's
+// multi-information of shape-invariant observers against the statistical
+// complexity of the symbolised particle dynamics (the ε-machine-based
+// alternative of Shalizi that the paper discusses and departs from).
+//
+// Sec. 7.1 predicts their disagreement on a crystallising collective: the
+// multi-information stays low for a uniform collective settling into a
+// unique grid (no shape variety), while during the transient the motion is
+// structured; once frozen, both measures drop — the random initial phase
+// and the frozen end state are both "simple".
+//
+// Run with:
+//
+//	go run ./examples/complexity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sops "repro"
+)
+
+func main() {
+	// An organising 2-type collective.
+	r := sops.MustMatrix([][]float64{
+		{1.5, 4.0},
+		{4.0, 2.0},
+	})
+	cfg := sops.SimConfig{
+		N:      16,
+		Types:  sops.TypesRoundRobin(16, 2),
+		Force:  sops.MustF1(sops.ConstantMatrix(2, 1), r),
+		Cutoff: 8,
+	}
+	ens, err := sops.RunEnsemble(sops.EnsembleConfig{
+		Sim: cfg, M: 96, Steps: 240, RecordEvery: 4, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure 1: the paper's multi-information (on a coarser grid of the
+	// same ensemble via a fresh pipeline — reuse the raw ensemble).
+	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
+		Name: "mi",
+		Ensemble: sops.EnsembleConfig{
+			Sim: cfg, M: 96, Steps: 240, RecordEvery: 40, Seed: 31,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure 2: windowed statistical complexity of the motion symbols.
+	profile, err := sops.SymbolicComplexityProfile(ens, 10, 4, 0.08,
+		sops.StatComplexOptions{MaxHistory: 1, MinCount: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("multi-information of aligned observers (the paper's measure):")
+	for i, mi := range res.MI {
+		fmt.Printf("  t=%3d  I = %6.2f bits\n", res.Times[i], mi)
+	}
+	fmt.Println("\nwindowed statistical complexity of symbolised motion (the alternative):")
+	fmt.Printf("%14s %10s %10s %8s\n", "window", "C (bits)", "h (bits)", "states")
+	for _, p := range profile {
+		fmt.Printf("  [%4d,%4d] %10.3f %10.3f %8d\n", p.StartStep, p.EndStep, p.C, p.H, p.States)
+	}
+	fmt.Println(`
+Reading the output: the multi-information rises as the ensemble's shapes
+converge, because it measures correlation ACROSS runs. The statistical
+complexity looks WITHIN runs: it is low in the initial random phase
+(isotropic diffusion is one causal state) and jumps once the collective
+binds and the motion acquires persistent structure. The two measures probe
+different things — exactly the paper's Sec. 3/7.1 point that its
+observer-based multi-information is not the same notion as
+statistical-complexity-based self-organization.`)
+}

@@ -1,0 +1,73 @@
+// Decomposition of self-organization (Sec. 3.1, Eq. 5; Fig. 11): the
+// multi-information of all observers splits exactly into the
+// multi-information BETWEEN coarse-grained per-type observers plus the
+// multi-information WITHIN each type. The paper's finding: the relative
+// contributions fluctuate early, then settle to stable fractions while the
+// total keeps growing.
+//
+// Run with:
+//
+//	go run ./examples/decomposition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sops "repro"
+)
+
+func main() {
+	l := 4
+	draw := sops.SplitRNG(2012, 11)
+	f := sops.MustF1(sops.ConstantMatrix(l, 1), sops.RandomMatrixIn(l, 2, 8, draw))
+	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
+		Name: "decomposition",
+		Ensemble: sops.EnsembleConfig{
+			Sim:         sops.SimConfig{N: 20, Types: sops.TypesRoundRobin(20, l), Force: f, Cutoff: 15},
+			M:           128,
+			Steps:       250,
+			RecordEvery: 25,
+			Seed:        5,
+		},
+		Decompose: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("normalized decomposition of I(W1,...,Wn) over time (fractions of the total):")
+	fmt.Printf("%6s %10s %10s", "t", "total", "between")
+	for g := 0; g < l; g++ {
+		fmt.Printf("  type-%d", g)
+	}
+	fmt.Println()
+	for ti, dec := range res.Decomp {
+		norm := dec.Normalized()
+		fmt.Printf("%6d %10.3f %10.3f", res.Times[ti], dec.Total(), norm.Between)
+		for _, w := range norm.Within {
+			fmt.Printf("  %6.3f", w)
+		}
+		fmt.Println()
+	}
+
+	chart := &sops.Chart{Title: "decomposition fractions over time", XLabel: "t", YLabel: "fraction"}
+	xs := sops.FloatTimes(res.Times)
+	between := make([]float64, len(res.Times))
+	for ti, dec := range res.Decomp {
+		between[ti] = dec.Normalized().Between
+	}
+	chart.Add("between-types", xs, between)
+	for g := 0; g < l; g++ {
+		ys := make([]float64, len(res.Times))
+		for ti, dec := range res.Decomp {
+			ys[ti] = dec.Normalized().Within[g]
+		}
+		chart.Add(fmt.Sprintf("type %d", g), xs, ys)
+	}
+	fmt.Print(chart.Render(72, 16))
+	fmt.Println(`
+Reading the output (paper Sec. 6.1.1): organization appears on ALL levels;
+after an initial phase the fractions settle even though the total
+multi-information (column 2) is still increasing.`)
+}

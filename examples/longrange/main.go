@@ -1,0 +1,70 @@
+// Long-range interactions and self-organization (the Fig. 9/10 story,
+// Secs. 6.1, 7.2): with as many types as particles, the amount of
+// self-organization a collective can reach is governed by the interaction
+// cut-off radius — long-range interactions let information spread and
+// multi-information grow; strictly local interactions throttle it.
+//
+// This example runs a reduced version of the paper's sweep: 20 particles
+// with 20 distinct types under F¹ at rc ∈ {2.5, 7.5, ∞} and compares it
+// against a 5-type collective at the same radii.
+//
+// Run with:
+//
+//	go run ./examples/longrange
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	sops "repro"
+)
+
+func run(l int, rc float64, seed uint64) (*sops.Result, error) {
+	draw := sops.SplitRNG(seed, uint64(l)*31+uint64(math.Float64bits(rc)%1000))
+	f := sops.MustF1(sops.ConstantMatrix(l, 1), sops.RandomMatrixIn(l, 2, 8, draw))
+	return sops.MeasureSelfOrganization(sops.Pipeline{
+		Name: fmt.Sprintf("l=%d rc=%g", l, rc),
+		Ensemble: sops.EnsembleConfig{
+			Sim:         sops.SimConfig{N: 20, Types: sops.TypesRoundRobin(20, l), Force: f, Cutoff: rc},
+			M:           128,
+			Steps:       250,
+			RecordEvery: 25,
+			Seed:        seed,
+		},
+	})
+}
+
+func main() {
+	radii := []float64{2.5, 7.5, math.Inf(1)}
+	chart := &sops.Chart{
+		Title:  "multi-information vs time: cut-off radius and type count (F1, n=20)",
+		XLabel: "t",
+		YLabel: "bits",
+	}
+	fmt.Println("running 6 pipelines (2 type counts x 3 radii)...")
+	for _, l := range []int{20, 5} {
+		for _, rc := range radii {
+			res, err := run(l, rc, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := fmt.Sprintf("l=%d rc=%g", l, rc)
+			if math.IsInf(rc, 1) {
+				name = fmt.Sprintf("l=%d rc=inf", l)
+			}
+			chart.Add(name, sops.FloatTimes(res.Times), res.MI)
+			fmt.Printf("%-16s ΔI = %6.2f bits\n", name, res.DeltaI())
+		}
+	}
+	fmt.Print(chart.Render(72, 18))
+	fmt.Println(`
+Paper's expected shape (Secs. 6.1, 7.2):
+  * with l=20 (all particles distinct), ΔI grows with rc — long-range
+    interactions produce statistical structure even without visible
+    spatial patterns;
+  * with local interactions (small rc), the l=5 collective organizes
+    MORE than the l=20 one: homogeneous same-type clusters restore
+    long-range information flow (emergence of visible structures).`)
+}

@@ -1,0 +1,61 @@
+// Quickstart: simulate a 3-type adhesive particle collective and measure
+// its self-organization as the increase of multi-information between the
+// aligned per-particle observer variables (Harder & Polani 2012, Sec. 3.1).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sops "repro"
+)
+
+func main() {
+	// Differential adhesion: same-type pairs prefer to sit closer than
+	// cross-type pairs, the classic cell-sorting setup of Sec. 1.
+	r := sops.MustMatrix([][]float64{
+		{1.5, 3.5, 3.0},
+		{3.5, 1.8, 2.5},
+		{3.0, 2.5, 2.0},
+	})
+	cfg := sops.SimConfig{
+		N:      30,
+		Force:  sops.MustF1(sops.ConstantMatrix(3, 1), r),
+		Cutoff: 6,
+	}
+
+	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
+		Name: "quickstart",
+		Ensemble: sops.EnsembleConfig{
+			Sim:         cfg,
+			M:           128, // independent simulation runs
+			Steps:       200, // t_max
+			RecordEvery: 20,
+			Seed:        1,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("multi-information of the aligned observer variables (bits):")
+	chart := &sops.Chart{Title: "self-organization = increasing I(W1,...,Wn)", XLabel: "t", YLabel: "bits"}
+	chart.Add("I", sops.FloatTimes(res.Times), res.MI)
+	fmt.Print(chart.Render(64, 14))
+
+	fmt.Printf("\nI(t=0) = %.2f bits, I(t=%d) = %.2f bits, ΔI = %.2f bits\n",
+		res.MI[0], res.Times[len(res.Times)-1], res.FinalMI(), res.DeltaI())
+	if res.DeltaI() > 0.5 {
+		fmt.Println("=> the collective self-organizes (paper Sec. 3.1 criterion).")
+	} else {
+		fmt.Println("=> no clear self-organization detected.")
+	}
+
+	fmt.Println("\na final configuration from the ensemble (digits = types):")
+	final := res.Ensemble.Trajs[0].Frames[len(res.Ensemble.Trajs[0].Frames)-1]
+	fmt.Print(sops.ASCIIScatter(final, res.Ensemble.Types, 56, 20))
+}

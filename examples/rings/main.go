@@ -1,0 +1,101 @@
+// Concentric rings and residual degrees of freedom (Figs. 5 & 7): a
+// single-type F¹ collective whose cut-off radius exceeds twice the
+// preferred distance settles into two concentric regular polygons. The
+// rotation of the inner polygon relative to the outer one remains a free
+// parameter — and exactly that remaining degree of freedom makes the
+// single-type system measurably self-organizing (a relatively high MI for
+// one type, Sec. 6).
+//
+// Run with:
+//
+//	go run ./examples/rings
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	sops "repro"
+)
+
+func main() {
+	cfg := sops.SimConfig{
+		N:      20,
+		Force:  sops.MustF1(sops.ConstantMatrix(1, 1), sops.ConstantMatrix(1, 2)),
+		Cutoff: 5, // > 2·r = 4: the two-ring regime
+	}
+	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
+		Name:     "rings",
+		Ensemble: sops.EnsembleConfig{Sim: cfg, M: 160, Steps: 250, RecordEvery: 25, Seed: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	chart := &sops.Chart{Title: "single-type rings: I(W1,...,W20) over time (Fig. 5)", XLabel: "t", YLabel: "bits"}
+	chart.Add("I", sops.FloatTimes(res.Times), res.MI)
+	fmt.Print(chart.Render(64, 14))
+	fmt.Printf("ΔI = %.2f bits for ONE type — high for a uniform collective (Sec. 6)\n\n", res.DeltaI())
+
+	// Fig. 7's diagnostic: pool the aligned final positions of every
+	// sample per observer slot and compare positional scatter of the
+	// outer ring (well pinned by alignment) against the inner ring
+	// (free rotation smears it).
+	ds := res.Observers.Datasets[len(res.Observers.Datasets)-1]
+	m, n := ds.NumSamples(), ds.NumVars()
+	radius := make([]float64, n)
+	scatter := make([]float64, n)
+	for v := 0; v < n; v++ {
+		var mx, my, mr float64
+		for s := 0; s < m; s++ {
+			x := ds.Var(s, v)
+			mx += x[0]
+			my += x[1]
+			mr += math.Hypot(x[0], x[1])
+		}
+		mx, my = mx/float64(m), my/float64(m)
+		radius[v] = mr / float64(m)
+		var rms float64
+		for s := 0; s < m; s++ {
+			x := ds.Var(s, v)
+			rms += (x[0]-mx)*(x[0]-mx) + (x[1]-my)*(x[1]-my)
+		}
+		scatter[v] = math.Sqrt(rms / float64(m))
+	}
+	// Median radius splits inner and outer ring.
+	med := median(radius)
+	var innerScatter, outerScatter []float64
+	for v := 0; v < n; v++ {
+		if radius[v] < med {
+			innerScatter = append(innerScatter, scatter[v])
+		} else {
+			outerScatter = append(outerScatter, scatter[v])
+		}
+	}
+	fmt.Printf("outer-ring per-slot scatter: %.3f (tight clusters in Fig. 7)\n", mean(outerScatter))
+	fmt.Printf("inner-ring per-slot scatter: %.3f (smeared by the free rotation)\n", mean(innerScatter))
+	if mean(innerScatter) > mean(outerScatter) {
+		fmt.Println("=> inner ring scatters more: the paper's residual degree of freedom, reproduced.")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := range cp {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,109 @@
+package align
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+// Property: Rigid forms a group — composition is associative, the identity
+// is neutral, and every element composed with its inverse is the identity
+// (up to floating point), verified on random elements and probe points.
+func TestQuickRigidGroupLaws(t *testing.T) {
+	gen := func(r *rand.Rand) Rigid {
+		return Rigid{
+			Theta: r.Float64()*4*math.Pi - 2*math.Pi,
+			T:     vec.Vec2{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10},
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, h, k := gen(r), gen(r), gen(r)
+		p := vec.Vec2{X: r.Float64()*6 - 3, Y: r.Float64()*6 - 3}
+		// Associativity: (g∘h)∘k == g∘(h∘k) pointwise.
+		lhs := g.Compose(h).Compose(k).Apply(p)
+		rhs := g.Compose(h.Compose(k)).Apply(p)
+		if lhs.Dist(rhs) > 1e-7 {
+			return false
+		}
+		// Identity.
+		if (Rigid{}).Apply(p) != p {
+			return false
+		}
+		// Inverse, both sides.
+		if g.Compose(g.Inverse()).Apply(p).Dist(p) > 1e-7 {
+			return false
+		}
+		if g.Inverse().Compose(g).Apply(p).Dist(p) > 1e-7 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rigid maps are isometries — they preserve all pairwise
+// distances.
+func TestQuickRigidIsIsometry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Rigid{
+			Theta: r.Float64() * 2 * math.Pi,
+			T:     vec.Vec2{X: r.Float64() * 10, Y: r.Float64() * 10},
+		}
+		a := vec.Vec2{X: r.Float64()*8 - 4, Y: r.Float64()*8 - 4}
+		b := vec.Vec2{X: r.Float64()*8 - 4, Y: r.Float64()*8 - 4}
+		return math.Abs(g.Apply(a).Dist(g.Apply(b))-a.Dist(b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Procrustes on a planted transform achieves zero residual for
+// any non-degenerate random cloud.
+func TestQuickProcrustesExactRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		src := make([]vec.Vec2, n)
+		for i := range src {
+			src[i] = vec.Vec2{X: r.Float64()*10 - 5, Y: r.Float64()*10 - 5}
+		}
+		g := Rigid{
+			Theta: r.Float64()*2*math.Pi - math.Pi,
+			T:     vec.Vec2{X: r.Float64()*30 - 15, Y: r.Float64()*30 - 15},
+		}
+		dst := g.ApplyAll(src)
+		rec := Procrustes2D(src, dst)
+		return RMSD(rec.ApplyAll(src), dst) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Procrustes residual is never larger than the plain
+// (untransformed) residual — it is a minimiser.
+func TestQuickProcrustesNeverWorseThanIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		src := make([]vec.Vec2, n)
+		dst := make([]vec.Vec2, n)
+		for i := range src {
+			src[i] = vec.Vec2{X: r.Float64()*10 - 5, Y: r.Float64()*10 - 5}
+			dst[i] = vec.Vec2{X: r.Float64()*10 - 5, Y: r.Float64()*10 - 5}
+		}
+		rec := Procrustes2D(src, dst)
+		return RMSD(rec.ApplyAll(src), dst) <= RMSD(src, dst)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/forces"
+	"repro/internal/rngx"
+	"repro/internal/sim"
+)
+
+func rngSource(seed uint64) rngx.Source { return rngx.New(seed) }
+
+func tinyPipeline(name string, est EstimatorKind) Pipeline {
+	return Pipeline{
+		Name: name,
+		Ensemble: sim.EnsembleConfig{
+			Sim: sim.Config{
+				N:     10,
+				Types: sim.TypesRoundRobin(10, 2),
+				Force: forces.MustF1(forces.ConstantMatrix(2, 1),
+					forces.MustMatrix([][]float64{{1.5, 3.5}, {3.5, 2.0}})),
+				Cutoff: 6,
+			},
+			M:           24,
+			Steps:       30,
+			RecordEvery: 15,
+			Seed:        7,
+		},
+		Estimator: est,
+	}
+}
+
+func TestPipelineRunShapes(t *testing.T) {
+	res, err := tinyPipeline("t", "").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 3 || len(res.MI) != 3 {
+		t.Fatalf("times=%v MI=%v", res.Times, res.MI)
+	}
+	if res.Ensemble == nil || res.Observers == nil {
+		t.Fatal("raw outputs missing")
+	}
+	if len(res.Labels) != 10 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+	for _, mi := range res.MI {
+		if math.IsNaN(mi) || math.IsInf(mi, 0) {
+			t.Fatalf("non-finite MI: %v", res.MI)
+		}
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	a, err := tinyPipeline("a", "").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tinyPipeline("b", "").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.MI {
+		if a.MI[i] != b.MI[i] {
+			t.Fatal("pipeline not deterministic")
+		}
+	}
+}
+
+func TestPipelineEstimatorSelection(t *testing.T) {
+	for _, est := range []EstimatorKind{EstKSGPaper, EstKSG1, EstKSG2, EstKernel, EstBinned} {
+		if _, err := tinyPipeline(string(est), est).Run(); err != nil {
+			t.Errorf("estimator %q failed: %v", est, err)
+		}
+	}
+	if _, err := tinyPipeline("bad", "nope").Run(); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+}
+
+func TestPipelineRejectsKTooLargeForM(t *testing.T) {
+	p := tinyPipeline("k", "")
+	p.K = p.Ensemble.M
+	if _, err := p.Run(); err == nil {
+		t.Error("k >= M accepted")
+	}
+}
+
+func TestPipelineDecompose(t *testing.T) {
+	p := tinyPipeline("d", "")
+	p.Decompose = true
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decomp) != len(res.Times) {
+		t.Fatal("decomposition missing")
+	}
+	for _, dec := range res.Decomp {
+		if len(dec.Within) != 2 {
+			t.Fatalf("decomposition has %d groups, want 2", len(dec.Within))
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{MI: []float64{1, 2, 5}}
+	if r.DeltaI() != 4 {
+		t.Errorf("DeltaI = %v", r.DeltaI())
+	}
+	if r.FinalMI() != 5 {
+		t.Errorf("FinalMI = %v", r.FinalMI())
+	}
+	empty := &Result{}
+	if empty.DeltaI() != 0 || empty.FinalMI() != 0 {
+		t.Error("empty result helpers wrong")
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	p := PaperScale()
+	if p.M != 500 || p.Steps != 250 || p.Repeats != 10 {
+		t.Errorf("PaperScale changed: %+v (paper: m=500–1000, tmax=250, 10 repeats)", p)
+	}
+	q := QuickScale()
+	if q.M < 64 || q.Steps != 250 {
+		t.Errorf("QuickScale unusable: %+v", q)
+	}
+	s := TestScale()
+	if s.M > q.M || s.Steps > q.Steps {
+		t.Error("TestScale should be the smallest")
+	}
+}
+
+// --- figure drivers ---------------------------------------------------------
+
+func TestFig2ForceCurves(t *testing.T) {
+	fd := Fig2ForceCurves()
+	if fd.ID != "fig2" || len(fd.Series) != 2 {
+		t.Fatal("fig2 shape wrong")
+	}
+	var f1Series, f2Series Series
+	for _, s := range fd.Series {
+		switch s.Name {
+		case "F1":
+			f1Series = s
+		case "F2":
+			f2Series = s
+		}
+	}
+	// F1 (k=1, r=2): negative below 2, positive above.
+	for i, x := range f1Series.X {
+		y := f1Series.Y[i]
+		if x < 1.9 && y >= 0 {
+			t.Fatalf("F1(%g) = %v, want negative", x, y)
+		}
+		if x > 2.1 && y <= 0 {
+			t.Fatalf("F1(%g) = %v, want positive", x, y)
+		}
+	}
+	// F2 in the paper regime: never positive.
+	for i, y := range f2Series.Y {
+		if y > 1e-12 {
+			t.Fatalf("F2(%g) = %v, want <= 0", f2Series.X[i], y)
+		}
+	}
+}
+
+func TestFig4ParamsMatchPaper(t *testing.T) {
+	cfg := Fig4Params()
+	if cfg.N != 50 {
+		t.Error("Fig. 4 uses n = 50")
+	}
+	if cfg.Cutoff != 5.0 {
+		t.Error("Fig. 4 uses rc = 5.0")
+	}
+	f1, ok := cfg.Force.(*forces.F1)
+	if !ok {
+		t.Fatal("Fig. 4 force should be F1")
+	}
+	if f1.Types() != 3 {
+		t.Error("Fig. 4 uses l = 3")
+	}
+	// Spot-check the r matrix from the caption.
+	if f1.R.At(0, 1) != 5.0 || f1.R.At(1, 2) != 2.0 || f1.R.At(2, 2) != 3.5 {
+		t.Error("Fig. 4 r matrix wrong")
+	}
+}
+
+func TestFig5ParamsCutoffExceedsTwiceR(t *testing.T) {
+	cfg := Fig5Params()
+	f1 := cfg.Force.(*forces.F1)
+	if f1.Types() != 1 || cfg.N != 20 {
+		t.Error("Fig. 5 is 20 particles of one type")
+	}
+	if cfg.Cutoff <= 2*f1.R.At(0, 0) {
+		t.Error("Fig. 5 requires rc > 2·r_αα (the two-ring regime)")
+	}
+}
+
+func TestClosestIndex(t *testing.T) {
+	times := []int{0, 10, 20, 50}
+	if closestIndex(times, 12) != 1 {
+		t.Error("closestIndex(12) wrong")
+	}
+	if closestIndex(times, 49) != 3 {
+		t.Error("closestIndex(49) wrong")
+	}
+	if closestIndex(times, -5) != 0 {
+		t.Error("closestIndex(-5) wrong")
+	}
+}
+
+func TestGaussianTrueMI(t *testing.T) {
+	// n=2: −½log2(det [[1,ρ],[ρ,1]]) = −½log2(1−ρ²).
+	rho := 0.6
+	want := -0.5 * math.Log2(1-rho*rho)
+	if got := GaussianTrueMI(2, rho); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GaussianTrueMI(2, %v) = %v, want %v", rho, got, want)
+	}
+	if got := GaussianTrueMI(5, 0); got != 0 {
+		t.Errorf("independent true MI = %v", got)
+	}
+	// Multi-information grows with n at fixed rho.
+	if GaussianTrueMI(6, 0.5) <= GaussianTrueMI(3, 0.5) {
+		t.Error("true MI should grow with n")
+	}
+}
+
+func TestSampleEquicorrelatedGaussians(t *testing.T) {
+	d := SampleEquicorrelatedGaussians(5000, 3, 0.7, rngSource(1))
+	// Empirical pairwise correlation ≈ 0.7.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			var sab, sa, sb, saa, sbb float64
+			m := d.NumSamples()
+			for s := 0; s < m; s++ {
+				x := d.Var(s, a)[0]
+				y := d.Var(s, b)[0]
+				sab += x * y
+				sa += x
+				sb += y
+				saa += x * x
+				sbb += y * y
+			}
+			n := float64(m)
+			cov := sab/n - (sa/n)*(sb/n)
+			va := saa/n - (sa/n)*(sa/n)
+			vb := sbb/n - (sb/n)*(sb/n)
+			rho := cov / math.Sqrt(va*vb)
+			if math.Abs(rho-0.7) > 0.05 {
+				t.Fatalf("empirical correlation (%d,%d) = %v", a, b, rho)
+			}
+		}
+	}
+}
+
+func TestSampleEquicorrelatedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rho=1 should panic")
+		}
+	}()
+	SampleEquicorrelatedGaussians(10, 2, 1, rngSource(1))
+}
+
+func TestEstimatorComparisonRanksKSGAboveBaselines(t *testing.T) {
+	table := EstimatorComparison(5, 150, 3, 0.6, 4, 99)
+	if len(table.Rows) != 6 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range table.Rows {
+		byName[r.Estimator] = r
+	}
+	// The paper's findings, as shape assertions:
+	// (1) KSG-2 beats the binned ML estimator on RMSE.
+	if byName["ksg2"].RMSE >= byName["binned-ml"].RMSE {
+		t.Errorf("ksg2 RMSE %v not below binned-ml RMSE %v",
+			byName["ksg2"].RMSE, byName["binned-ml"].RMSE)
+	}
+	// (2) binned ML grossly overestimates in this 5-dim setting.
+	if byName["binned-ml"].Bias < 1 {
+		t.Errorf("binned-ml bias = %v, expected large positive", byName["binned-ml"].Bias)
+	}
+	// (3) the verbatim paper formula overestimates.
+	if byName["ksg-paper"].Bias < 1 {
+		t.Errorf("ksg-paper bias = %v, expected large positive", byName["ksg-paper"].Bias)
+	}
+	if table.String() == "" {
+		t.Error("empty table rendering")
+	}
+}
+
+func TestFig6SnapshotsSlicesEnsemble(t *testing.T) {
+	p := tinyPipeline("snap", "")
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := Fig6Snapshots(res, []int{0, 30}, 2)
+	if len(snaps) != 4 { // 2 times × 2 samples
+		t.Fatalf("%d snapshots", len(snaps))
+	}
+	for _, s := range snaps {
+		if len(s.Pos) != 10 || len(s.Types) != 10 {
+			t.Fatal("snapshot shape wrong")
+		}
+	}
+}
+
+func TestFig7OverlayPoolsAllSamples(t *testing.T) {
+	p := tinyPipeline("overlay", "")
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := Fig7AlignedOverlay(res)
+	if len(ov.Pos) != 24*10 {
+		t.Fatalf("overlay has %d points, want m·n = 240", len(ov.Pos))
+	}
+	if len(ov.Types) != len(ov.Pos) {
+		t.Fatal("overlay types missing")
+	}
+}

@@ -1,0 +1,133 @@
+package forces
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rngx"
+)
+
+// quickMatrix draws a bounded random symmetric matrix from testing/quick's
+// rand source.
+func quickMatrix(r *rand.Rand, l int, lo, hi float64) Matrix {
+	m := NewMatrix(l)
+	for a := 0; a < l; a++ {
+		for b := a; b < l; b++ {
+			m.Set(a, b, lo+r.Float64()*(hi-lo))
+		}
+	}
+	return m
+}
+
+// Property: At is symmetric for every index pair of every randomly drawn
+// matrix.
+func TestQuickMatrixSymmetry(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 1 + int(lRaw%8)
+		m := quickMatrix(r, l, -5, 5)
+		for a := 0; a < l; a++ {
+			for b := 0; b < l; b++ {
+				if m.At(a, b) != m.At(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rows round-trips through MatrixFromRows for random matrices.
+func TestQuickMatrixRowsRoundTrip(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 1 + int(lRaw%6)
+		m := quickMatrix(r, l, -3, 3)
+		back, err := MatrixFromRows(m.Rows())
+		if err != nil {
+			return false
+		}
+		for a := 0; a < l; a++ {
+			for b := 0; b < l; b++ {
+				if back.At(a, b) != m.At(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: F¹ changes sign exactly at its preferred distance, for random
+// parameters.
+func TestQuickF1SignStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 0.5 + r.Float64()*9
+		rr := 0.2 + r.Float64()*5
+		fc := MustF1(ConstantMatrix(1, k), ConstantMatrix(1, rr))
+		below := fc.Eval(0, 0, rr*(0.2+0.7*r.Float64()))
+		above := fc.Eval(0, 0, rr*(1.1+3*r.Float64()))
+		at := fc.Eval(0, 0, rr)
+		return below < 0 && above > 0 && math.Abs(at) < 1e-9*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper-regime F² (σ = 1, τ ≥ 1) is non-positive everywhere
+// and decays to zero, for random τ and k.
+func TestQuickF2PaperRegimeNonPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 0.5 + r.Float64()*9
+		tau := 1 + r.Float64()*9
+		fc := MustF2(ConstantMatrix(1, k), ConstantMatrix(1, 1), ConstantMatrix(1, tau))
+		for i := 0; i < 40; i++ {
+			x := 0.05 + r.Float64()*15
+			if fc.Eval(0, 0, x) > 1e-12 {
+				return false
+			}
+		}
+		return math.Abs(fc.Eval(0, 0, 60)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval is symmetric in (α, β) for every random interaction of
+// both families — the precondition for Newton-pair force accumulation.
+func TestQuickScalingTypeSymmetry(t *testing.T) {
+	f := func(seed uint64, lRaw uint8) bool {
+		l := 1 + int(lRaw%6)
+		rng := rngx.New(seed)
+		f1 := RandomF1(l, 1, 10, 0.5, 5, rng)
+		f2 := RandomF2(l, 1, 10, 1, 10, rng)
+		probe := rngx.New(seed ^ 0xBEEF)
+		for i := 0; i < 30; i++ {
+			a := probe.IntN(l)
+			b := probe.IntN(l)
+			x := 0.1 + probe.Float64()*10
+			if f1.Eval(a, b, x) != f1.Eval(b, a, x) {
+				return false
+			}
+			if f2.Eval(a, b, x) != f2.Eval(b, a, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

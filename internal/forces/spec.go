@@ -1,0 +1,66 @@
+package forces
+
+import (
+	"fmt"
+)
+
+// Spec is a serialisable description of a force-scaling function, used by
+// the ensemble persistence layer (interactions are part of an experiment's
+// identity and must round-trip through disk).
+type Spec struct {
+	// Family is "F1" or "F2".
+	Family string
+	// K is the strength matrix (all families).
+	K [][]float64
+	// R is the preferred-distance matrix (F1 only).
+	R [][]float64 `json:",omitempty"`
+	// Sigma and Tau are the Gaussian width matrices (F2 only).
+	Sigma [][]float64 `json:",omitempty"`
+	Tau   [][]float64 `json:",omitempty"`
+}
+
+// ToSpec captures a Scaling into its serialisable form. Only the two
+// built-in families are supported; custom Scaling implementations must
+// provide their own persistence.
+func ToSpec(s Scaling) (Spec, error) {
+	switch f := s.(type) {
+	case *F1:
+		return Spec{Family: "F1", K: f.K.Rows(), R: f.R.Rows()}, nil
+	case *F2:
+		return Spec{Family: "F2", K: f.K.Rows(), Sigma: f.Sigma.Rows(), Tau: f.Tau.Rows()}, nil
+	default:
+		return Spec{}, fmt.Errorf("forces: cannot serialise force family %q", s.Name())
+	}
+}
+
+// Build reconstructs the Scaling described by the spec.
+func (sp Spec) Build() (Scaling, error) {
+	switch sp.Family {
+	case "F1":
+		k, err := MatrixFromRows(sp.K)
+		if err != nil {
+			return nil, fmt.Errorf("forces: spec K: %w", err)
+		}
+		r, err := MatrixFromRows(sp.R)
+		if err != nil {
+			return nil, fmt.Errorf("forces: spec R: %w", err)
+		}
+		return NewF1(k, r)
+	case "F2":
+		k, err := MatrixFromRows(sp.K)
+		if err != nil {
+			return nil, fmt.Errorf("forces: spec K: %w", err)
+		}
+		sigma, err := MatrixFromRows(sp.Sigma)
+		if err != nil {
+			return nil, fmt.Errorf("forces: spec Sigma: %w", err)
+		}
+		tau, err := MatrixFromRows(sp.Tau)
+		if err != nil {
+			return nil, fmt.Errorf("forces: spec Tau: %w", err)
+		}
+		return NewF2(k, sigma, tau)
+	default:
+		return nil, fmt.Errorf("forces: unknown force family %q", sp.Family)
+	}
+}

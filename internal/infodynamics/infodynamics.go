@@ -1,0 +1,219 @@
+// Package infodynamics implements the time-directed information measures
+// the paper names as future work (Sec. 7.3, citing Lizier et al.):
+// transfer entropy between particles and active information storage of a
+// particle, estimated with the Frenzel–Pompe k-NN conditional
+// mutual-information estimator (the conditional sibling of the KSG
+// estimator used for multi-information).
+//
+// These measures operate on *trajectories*, so they require the raw
+// simulation output in which particle identity persists over time; the
+// permutation-reduced representation of Sec. 5.2 deliberately destroys
+// that correspondence (Sec. 5.2: "the correspondence between particles of
+// the same sample, but different time steps is lost"). Samples are pooled
+// over ensemble runs and over time, which assumes approximate
+// stationarity of the increments over the pooled window — use windows, or
+// accept the average (the paper itself reports its first attempts at this
+// measurement as "still inconclusive"; this package provides the tooling
+// to continue that line).
+package infodynamics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+// point is a flattened sample of the joint (target-future, source-past,
+// target-past) triple.
+type point struct {
+	x, y, z []float64
+}
+
+// ConditionalMutualInfo estimates I(X;Y|Z) in bits from pooled samples
+// with the Frenzel–Pompe k-NN estimator:
+//
+//	Î = ψ(k) + ⟨ψ(n_z+1) − ψ(n_xz+1) − ψ(n_yz+1)⟩
+//
+// where the counts are taken strictly inside the max-norm distance to the
+// k-th neighbour in the full joint space. xs, ys, zs must have equal
+// length ≥ k+2; each sample is a vector (dimensions may differ between the
+// three roles but must be consistent within one role).
+func ConditionalMutualInfo(xs, ys, zs [][]float64, k int) (float64, error) {
+	m := len(xs)
+	if len(ys) != m || len(zs) != m {
+		return 0, fmt.Errorf("infodynamics: sample counts differ: %d/%d/%d", len(xs), len(ys), len(zs))
+	}
+	if k < 1 || m < k+2 {
+		return 0, fmt.Errorf("infodynamics: need at least k+2 = %d samples, have %d", k+2, m)
+	}
+	pts := make([]point, m)
+	for i := range pts {
+		pts[i] = point{xs[i], ys[i], zs[i]}
+	}
+
+	maxDist := func(a, b []float64) float64 {
+		var worst float64
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	jointDist := func(a, b point) float64 {
+		d := maxDist(a.x, b.x)
+		if dy := maxDist(a.y, b.y); dy > d {
+			d = dy
+		}
+		if dz := maxDist(a.z, b.z); dz > d {
+			d = dz
+		}
+		return d
+	}
+
+	var acc mathx.KahanSum
+	dists := make([]float64, 0, m-1)
+	for i := 0; i < m; i++ {
+		dists = dists[:0]
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			dists = append(dists, jointDist(pts[i], pts[j]))
+		}
+		sort.Float64s(dists)
+		eps := dists[k-1]
+
+		var nXZ, nYZ, nZ int
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			dz := maxDist(pts[i].z, pts[j].z)
+			if dz >= eps {
+				continue
+			}
+			nZ++
+			if maxDist(pts[i].x, pts[j].x) < eps {
+				nXZ++
+			}
+			if maxDist(pts[i].y, pts[j].y) < eps {
+				nYZ++
+			}
+		}
+		acc.Add(mathx.Digamma(float64(nZ+1)) -
+			mathx.Digamma(float64(nXZ+1)) -
+			mathx.Digamma(float64(nYZ+1)))
+	}
+	nats := mathx.Digamma(float64(k)) + acc.Sum()/float64(m)
+	return mathx.Log2(nats), nil
+}
+
+// Trajectory is one particle's positions over the recorded steps of one
+// sample.
+type Trajectory []vec.Vec2
+
+// TransferEntropy estimates the transfer entropy TE_{Y→X} =
+// I(X_{t+1}; Y_t | X_t) in bits, pooling the (future, source, past)
+// triples over all provided sample pairs and all consecutive recorded
+// steps. xs[s] and ys[s] must come from the same run s and have equal
+// length ≥ 2.
+func TransferEntropy(xs, ys []Trajectory, k int) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("infodynamics: %d target trajectories, %d source", len(xs), len(ys))
+	}
+	var fut, src, past [][]float64
+	for s := range xs {
+		if len(xs[s]) != len(ys[s]) {
+			return 0, fmt.Errorf("infodynamics: sample %d trajectory lengths differ", s)
+		}
+		for t := 0; t+1 < len(xs[s]); t++ {
+			fut = append(fut, []float64{xs[s][t+1].X, xs[s][t+1].Y})
+			src = append(src, []float64{ys[s][t].X, ys[s][t].Y})
+			past = append(past, []float64{xs[s][t].X, xs[s][t].Y})
+		}
+	}
+	if len(fut) == 0 {
+		return 0, fmt.Errorf("infodynamics: no transitions to pool")
+	}
+	return ConditionalMutualInfo(fut, src, past, k)
+}
+
+// ActiveStorage estimates the active information storage
+// A_X = I(X_{t+1}; X_t) in bits (history length 1), pooling over samples
+// and steps, with the KSG-style estimator obtained by conditioning on a
+// constant (degenerate) variable.
+func ActiveStorage(xs []Trajectory, k int) (float64, error) {
+	var fut, past [][]float64
+	for s := range xs {
+		for t := 0; t+1 < len(xs[s]); t++ {
+			fut = append(fut, []float64{xs[s][t+1].X, xs[s][t+1].Y})
+			past = append(past, []float64{xs[s][t].X, xs[s][t].Y})
+		}
+	}
+	if len(fut) == 0 {
+		return 0, fmt.Errorf("infodynamics: no transitions to pool")
+	}
+	// I(X;Y) = I(X;Y|∅): condition on a constant scalar.
+	zs := make([][]float64, len(fut))
+	for i := range zs {
+		zs[i] = []float64{0}
+	}
+	return ConditionalMutualInfo(fut, past, zs, k)
+}
+
+// ParticleTrajectories extracts particle i's trajectory from every sample
+// of an ensemble, optionally re-expressed relative to the collective
+// centroid of its frame (removing the shared drift so the measures see
+// relative motion, the organising signal).
+func ParticleTrajectories(ens *sim.Ensemble, particle int, centred bool) []Trajectory {
+	out := make([]Trajectory, len(ens.Trajs))
+	for s, traj := range ens.Trajs {
+		tr := make(Trajectory, len(traj.Frames))
+		for t, frame := range traj.Frames {
+			p := frame[particle]
+			if centred {
+				p = p.Sub(vec.Centroid(frame))
+			}
+			tr[t] = p
+		}
+		out[s] = tr
+	}
+	return out
+}
+
+// PairTransfer reports the transfer entropy in both directions between two
+// particles of an ensemble.
+type PairTransfer struct {
+	From, To     int
+	TE           float64 // TE_{From→To}
+	TEReverse    float64 // TE_{To→From}
+	NetDirection int     // +1 if From drives To, −1 if the reverse, 0 if balanced
+}
+
+// MeasurePairTransfer computes bidirectional transfer entropy between two
+// particles over the whole ensemble (centred coordinates).
+func MeasurePairTransfer(ens *sim.Ensemble, a, b, k int) (PairTransfer, error) {
+	ta := ParticleTrajectories(ens, a, true)
+	tb := ParticleTrajectories(ens, b, true)
+	ab, err := TransferEntropy(tb, ta, k) // a → b: target b, source a
+	if err != nil {
+		return PairTransfer{}, err
+	}
+	ba, err := TransferEntropy(ta, tb, k)
+	if err != nil {
+		return PairTransfer{}, err
+	}
+	pt := PairTransfer{From: a, To: b, TE: ab, TEReverse: ba}
+	switch {
+	case ab > ba+1e-9:
+		pt.NetDirection = 1
+	case ba > ab+1e-9:
+		pt.NetDirection = -1
+	}
+	return pt, nil
+}

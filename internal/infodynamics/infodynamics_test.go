@@ -1,0 +1,214 @@
+package infodynamics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/forces"
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+// coupledAR builds two scalar-pair time series where Y drives X with lag 1:
+// X_{t+1} = a·X_t + c·Y_t + noise, Y_{t+1} = a·Y_t + noise.
+func coupledAR(samples, steps int, a, c float64, seed uint64) (xs, ys []Trajectory) {
+	r := rand.New(rand.NewPCG(seed, seed^77))
+	for s := 0; s < samples; s++ {
+		x := make(Trajectory, steps)
+		y := make(Trajectory, steps)
+		x[0] = vec.Vec2{X: r.NormFloat64(), Y: r.NormFloat64()}
+		y[0] = vec.Vec2{X: r.NormFloat64(), Y: r.NormFloat64()}
+		for t := 1; t < steps; t++ {
+			y[t] = vec.Vec2{
+				X: a*y[t-1].X + 0.5*r.NormFloat64(),
+				Y: a*y[t-1].Y + 0.5*r.NormFloat64(),
+			}
+			x[t] = vec.Vec2{
+				X: a*x[t-1].X + c*y[t-1].X + 0.5*r.NormFloat64(),
+				Y: a*x[t-1].Y + c*y[t-1].Y + 0.5*r.NormFloat64(),
+			}
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+func TestTransferEntropyDetectsDirectionOfCoupling(t *testing.T) {
+	xs, ys := coupledAR(8, 60, 0.5, 0.9, 1)
+	teYtoX, err := TransferEntropy(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teXtoY, err := TransferEntropy(ys, xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teYtoX <= teXtoY {
+		t.Fatalf("TE(Y→X)=%v should exceed TE(X→Y)=%v for Y-driven coupling", teYtoX, teXtoY)
+	}
+	if teYtoX < 0.1 {
+		t.Fatalf("TE(Y→X)=%v too small for strong coupling", teYtoX)
+	}
+}
+
+func TestTransferEntropyIndependentNearZero(t *testing.T) {
+	xs, _ := coupledAR(8, 60, 0.5, 0, 2)
+	_, ys := coupledAR(8, 60, 0.5, 0, 3)
+	te, err := TransferEntropy(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(te) > 0.12 {
+		t.Fatalf("TE between independent processes = %v, want ≈ 0", te)
+	}
+}
+
+func TestActiveStorageOrdersByAutocorrelation(t *testing.T) {
+	strong, _ := coupledAR(8, 60, 0.9, 0, 4)
+	weak, _ := coupledAR(8, 60, 0.0, 0, 5)
+	aStrong, err := ActiveStorage(strong, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aWeak, err := ActiveStorage(weak, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aStrong <= aWeak {
+		t.Fatalf("AIS(a=0.9)=%v should exceed AIS(a=0)=%v", aStrong, aWeak)
+	}
+	if aStrong < 0.5 {
+		t.Fatalf("AIS of strongly autocorrelated process = %v, want clearly positive", aStrong)
+	}
+}
+
+func TestConditionalMutualInfoValidation(t *testing.T) {
+	good := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	if _, err := ConditionalMutualInfo(good, good[:5], good, 4); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ConditionalMutualInfo(good, good, good, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ConditionalMutualInfo(good[:3], good[:3], good[:3], 4); err == nil {
+		t.Error("too few samples accepted")
+	}
+}
+
+func TestConditionalMutualInfoScreensOffMediatedDependence(t *testing.T) {
+	// X and Y both copy Z (plus small noise): I(X;Y) is large, but
+	// I(X;Y|Z) must be near zero — the conditioning screens off the
+	// common cause.
+	r := rand.New(rand.NewPCG(6, 7))
+	m := 300
+	xs := make([][]float64, m)
+	ys := make([][]float64, m)
+	zs := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		z := r.NormFloat64()
+		zs[i] = []float64{z}
+		xs[i] = []float64{z + 0.1*r.NormFloat64()}
+		ys[i] = []float64{z + 0.1*r.NormFloat64()}
+	}
+	cmi, err := ConditionalMutualInfo(xs, ys, zs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmi) > 0.15 {
+		t.Fatalf("CMI given the common cause = %v, want ≈ 0", cmi)
+	}
+	// Sanity: unconditional dependence is strong.
+	consts := make([][]float64, m)
+	for i := range consts {
+		consts[i] = []float64{0}
+	}
+	mi, err := ConditionalMutualInfo(xs, ys, consts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi < 1 {
+		t.Fatalf("unconditional MI = %v, want large", mi)
+	}
+}
+
+func TestTransferEntropyTrajectoryValidation(t *testing.T) {
+	xs, ys := coupledAR(2, 10, 0.5, 0.5, 8)
+	if _, err := TransferEntropy(xs[:1], ys, 4); err == nil {
+		t.Error("sample count mismatch accepted")
+	}
+	ys[0] = ys[0][:5]
+	if _, err := TransferEntropy(xs, ys, 4); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TransferEntropy(nil, nil, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParticleTrajectoriesAndPairTransfer(t *testing.T) {
+	// A coupled 3-particle spring system must carry measurable
+	// information between interacting particles. (With only 2 centred
+	// particles the partner is a deterministic mirror image and TE is
+	// correctly zero, so 3 is the smallest non-degenerate case.)
+	ens, err := sim.RunEnsemble(sim.EnsembleConfig{
+		Sim: sim.Config{
+			N:      3,
+			Force:  forces.MustF1(forces.ConstantMatrix(1, 2), forces.ConstantMatrix(1, 2)),
+			Cutoff: 10,
+		},
+		M:           16,
+		Steps:       40,
+		RecordEvery: 2,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := ParticleTrajectories(ens, 0, true)
+	if len(trajs) != 16 || len(trajs[0]) != len(ens.Times()) {
+		t.Fatal("trajectory extraction shape wrong")
+	}
+
+	pt, err := MeasurePairTransfer(ens, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.TE < 0.05 && pt.TEReverse < 0.05 {
+		t.Fatalf("no information transfer measured in a coupled triple: %+v", pt)
+	}
+}
+
+func TestPairTransferZeroForNonInteractingParticles(t *testing.T) {
+	// Particles far outside each other's cut-off radius exchange no
+	// information; TE must be ≈ 0 in both directions. (Uncentred
+	// coordinates — centring would couple them spuriously.)
+	ens, err := sim.RunEnsemble(sim.EnsembleConfig{
+		Sim: sim.Config{
+			N:          3,
+			Force:      forces.MustF1(forces.ConstantMatrix(1, 2), forces.ConstantMatrix(1, 2)),
+			Cutoff:     1e-9,
+			InitRadius: 100,
+		},
+		M:           16,
+		Steps:       40,
+		RecordEvery: 2,
+		Seed:        10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := ParticleTrajectories(ens, 0, false)
+	tb := ParticleTrajectories(ens, 1, false)
+	te, err := TransferEntropy(ta, tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pooling across runs with widely scattered base positions leaves a
+	// small positive bias; the bound is loose but far below any coupled
+	// signal.
+	if math.Abs(te) > 0.15 {
+		t.Fatalf("TE between non-interacting particles = %v, want ≈ 0", te)
+	}
+}

@@ -1,0 +1,171 @@
+package infotheory
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// BinnedOptions configures the shrinkage binned estimator.
+type BinnedOptions struct {
+	// Bins is the number of equal-width bins per scalar dimension;
+	// 0 means the default (8).
+	Bins int
+	// Shrink disables the James–Stein shrinkage when false is forced by
+	// setting PlainML; by default shrinkage is on.
+	PlainML bool
+}
+
+func (o BinnedOptions) withDefaults() BinnedOptions {
+	if o.Bins == 0 {
+		o.Bins = 8
+	}
+	return o
+}
+
+// MultiInfoBinned estimates the multi-information of the dataset in bits by
+// discretising every scalar dimension into equal-width bins over its sample
+// range and computing Σ_v Ĥ(X_v) − Ĥ(X) from cell frequencies, with each
+// entropy estimated by the James–Stein shrinkage estimator of Hausser &
+// Strimmer (the paper's binning baseline, Sec. 5.3 [15]).
+//
+// In high dimension the joint histogram support (Bins^D cells) vastly
+// exceeds the sample count, the joint entropy saturates near log₂(m), and
+// the estimator grossly overestimates multi-information — exactly the
+// failure mode the paper reports ("overestimated the multi-information in
+// higher dimension due to the sparse sampling"). The estimator is provided
+// to reproduce that comparison.
+func MultiInfoBinned(d *Dataset, opt BinnedOptions) float64 {
+	if d.NumVars() < 2 {
+		return 0
+	}
+	opt = opt.withDefaults()
+	var sum float64
+	for v := 0; v < d.NumVars(); v++ {
+		sum += binnedEntropy(d, []int{v}, opt)
+	}
+	all := make([]int, d.NumVars())
+	for v := range all {
+		all[v] = v
+	}
+	return sum - binnedEntropy(d, all, opt)
+}
+
+// binnedEntropy returns the (shrinkage) entropy in bits of the joint
+// distribution of the given variables after equal-width binning.
+func binnedEntropy(d *Dataset, vars []int, opt BinnedOptions) float64 {
+	m := d.NumSamples()
+	b := opt.Bins
+
+	// Per-dimension ranges for the selected variables.
+	D := 0
+	for _, v := range vars {
+		D += d.Dim(v)
+	}
+	lo := make([]float64, D)
+	hi := make([]float64, D)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	flat := func(s int) []float64 {
+		row := make([]float64, 0, D)
+		for _, v := range vars {
+			row = append(row, d.Var(s, v)...)
+		}
+		return row
+	}
+	for s := 0; s < m; s++ {
+		for i, x := range flat(s) {
+			if x < lo[i] {
+				lo[i] = x
+			}
+			if x > hi[i] {
+				hi[i] = x
+			}
+		}
+	}
+
+	// Histogram over occupied cells, keyed by packed bin indices.
+	counts := map[string]int{}
+	key := make([]byte, D)
+	for s := 0; s < m; s++ {
+		for i, x := range flat(s) {
+			w := hi[i] - lo[i]
+			bin := 0
+			if w > 0 {
+				bin = int(float64(b) * (x - lo[i]) / w)
+				if bin >= b {
+					bin = b - 1
+				}
+			}
+			key[i] = byte(bin)
+		}
+		counts[string(key)]++
+	}
+
+	// Number of possible cells K = b^D, as float (can be astronomically
+	// large; only 1/K and (K − occupied) enter the formulas).
+	K := math.Pow(float64(b), float64(D))
+
+	if opt.PlainML {
+		flatCounts := make([]int, 0, len(counts))
+		for _, c := range counts {
+			flatCounts = append(flatCounts, c)
+		}
+		return EntropyFromCounts(flatCounts)
+	}
+	return shrinkageEntropy(counts, m, K)
+}
+
+// shrinkageEntropy implements the Hausser–Strimmer James–Stein entropy
+// estimator: cell probabilities are shrunk toward the uniform target
+// t = 1/K with data-driven intensity
+//
+//	λ = (1 − Σ θ̂²) / ((m−1) · Σ (t − θ̂)²)
+//
+// (clamped to [0, 1]), and the plug-in entropy of the shrunk distribution
+// is returned in bits, including the contribution of the K − n_occupied
+// unobserved cells, each carrying probability λ·t.
+func shrinkageEntropy(counts map[string]int, m int, K float64) float64 {
+	if m < 2 {
+		flat := make([]int, 0, len(counts))
+		for _, c := range counts {
+			flat = append(flat, c)
+		}
+		return EntropyFromCounts(flat)
+	}
+	t := 1 / K
+	var sumSq mathx.KahanSum
+	for _, c := range counts {
+		p := float64(c) / float64(m)
+		sumSq.Add(p * p)
+	}
+	// Σ_cells (t − θ̂)² over all K cells = Σ_occupied (t−θ̂)² + (K−n)·t².
+	var denom mathx.KahanSum
+	for _, c := range counts {
+		p := float64(c) / float64(m)
+		denom.Add((t - p) * (t - p))
+	}
+	unoccupied := K - float64(len(counts))
+	denom.Add(unoccupied * t * t)
+
+	lambda := 0.0
+	if denom.Sum() > 0 {
+		lambda = (1 - sumSq.Sum()) / (float64(m-1) * denom.Sum())
+	}
+	lambda = mathx.Clamp(lambda, 0, 1)
+
+	var h mathx.KahanSum
+	for _, c := range counts {
+		p := lambda*t + (1-lambda)*float64(c)/float64(m)
+		if p > 0 {
+			h.Add(-p * math.Log2(p))
+		}
+	}
+	if lambda > 0 && unoccupied > 0 {
+		p := lambda * t
+		h.Add(-unoccupied * p * math.Log2(p))
+	}
+	return h.Sum()
+}

@@ -1,0 +1,133 @@
+package infotheory
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset(3, []int{2, 1, 3})
+	if d.NumSamples() != 3 || d.NumVars() != 3 || d.TotalDim() != 6 {
+		t.Fatal("dataset shape wrong")
+	}
+	if d.Dim(0) != 2 || d.Dim(1) != 1 || d.Dim(2) != 3 {
+		t.Fatal("dims wrong")
+	}
+	d.SetVar(1, 2, 7, 8, 9)
+	got := d.Var(1, 2)
+	if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("Var = %v", got)
+	}
+	// Row must contain the variables in order.
+	d.SetVar(1, 0, 1, 2)
+	d.SetVar(1, 1, 3)
+	row := d.Row(1)
+	want := []float64{1, 2, 3, 7, 8, 9}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("Row = %v", row)
+		}
+	}
+}
+
+func TestDatasetVarAliasesStorage(t *testing.T) {
+	d := NewDataset(1, []int{2})
+	v := d.Var(0, 0)
+	v[0] = 42
+	if d.Var(0, 0)[0] != 42 {
+		t.Fatal("Var does not alias storage")
+	}
+}
+
+func TestDatasetPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDataset(0, []int{1}) },
+		func() { NewDataset(2, nil) },
+		func() { NewDataset(2, []int{0}) },
+		func() { NewDataset(2, []int{1}).SetVar(0, 0, 1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromFrames(t *testing.T) {
+	frames := [][]vec.Vec2{
+		{v2(1, 2), v2(3, 4)},
+		{v2(5, 6), v2(7, 8)},
+	}
+	d := FromFrames(frames)
+	if d.NumSamples() != 2 || d.NumVars() != 2 {
+		t.Fatal("shape wrong")
+	}
+	if v := d.Var(1, 0); v[0] != 5 || v[1] != 6 {
+		t.Fatalf("Var(1,0) = %v", v)
+	}
+}
+
+func TestFromFramesRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged frames should panic")
+		}
+	}()
+	FromFrames([][]vec.Vec2{{v2(1, 2)}, {v2(1, 2), v2(3, 4)}})
+}
+
+func TestSelect(t *testing.T) {
+	d := NewDataset(2, []int{1, 2, 1})
+	d.SetVar(0, 0, 10)
+	d.SetVar(0, 1, 20, 21)
+	d.SetVar(0, 2, 30)
+	s := d.Select([]int{2, 0})
+	if s.NumVars() != 2 || s.Dim(0) != 1 || s.Dim(1) != 1 {
+		t.Fatal("Select shape wrong")
+	}
+	if s.Var(0, 0)[0] != 30 || s.Var(0, 1)[0] != 10 {
+		t.Fatal("Select values wrong")
+	}
+	// Select copies: mutating the selection must not touch the source.
+	s.Var(0, 0)[0] = -1
+	if d.Var(0, 2)[0] != 30 {
+		t.Fatal("Select aliases the source")
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	d := NewDataset(2, []int{2, 1, 1})
+	d.SetVar(0, 0, 1, 2)
+	d.SetVar(0, 1, 3)
+	d.SetVar(0, 2, 4)
+	g := d.Grouped([][]int{{0, 2}, {1}})
+	if g.NumVars() != 2 || g.Dim(0) != 3 || g.Dim(1) != 1 {
+		t.Fatal("Grouped shape wrong")
+	}
+	v := g.Var(0, 0)
+	if v[0] != 1 || v[1] != 2 || v[2] != 4 {
+		t.Fatalf("Grouped var 0 = %v", v)
+	}
+	if g.Var(0, 1)[0] != 3 {
+		t.Fatal("Grouped var 1 wrong")
+	}
+}
+
+func TestJointDistIsMaxOverVariables(t *testing.T) {
+	d := NewDataset(2, []int{2, 2})
+	d.SetVar(0, 0, 0, 0)
+	d.SetVar(0, 1, 0, 0)
+	d.SetVar(1, 0, 3, 4) // var distance 5
+	d.SetVar(1, 1, 1, 0) // var distance 1
+	if got := d.jointDist(0, 1); got != 5 {
+		t.Fatalf("jointDist = %v, want max(5,1) = 5", got)
+	}
+	if got := d.varDist2(0, 1, 1); got != 1 {
+		t.Fatalf("varDist2 = %v", got)
+	}
+}

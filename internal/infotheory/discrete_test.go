@@ -1,0 +1,158 @@
+package infotheory
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestEntropyFromCountsKnown(t *testing.T) {
+	if h := EntropyFromCounts([]int{1, 1}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("fair coin entropy = %v, want 1", h)
+	}
+	if h := EntropyFromCounts([]int{1, 1, 1, 1}); math.Abs(h-2) > 1e-12 {
+		t.Errorf("uniform 4 entropy = %v, want 2", h)
+	}
+	if h := EntropyFromCounts([]int{5, 0, 0}); h != 0 {
+		t.Errorf("deterministic entropy = %v, want 0", h)
+	}
+	if h := EntropyFromCounts(nil); h != 0 {
+		t.Errorf("empty entropy = %v", h)
+	}
+	// p = (3/4, 1/4): H = 2 − 3/4·log2(3) ≈ 0.8113.
+	if h := EntropyFromCounts([]int{3, 1}); math.Abs(h-(2-0.75*math.Log2(3))) > 1e-12 {
+		t.Errorf("biased entropy = %v", h)
+	}
+}
+
+func TestEntropyNegativeCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count should panic")
+		}
+	}()
+	EntropyFromCounts([]int{-1})
+}
+
+func TestEntropyFromProbs(t *testing.T) {
+	if h := EntropyFromProbs([]float64{0.5, 0.5}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("probs entropy = %v", h)
+	}
+	// Unnormalised weights are normalised.
+	if h := EntropyFromProbs([]float64{2, 2}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("weights entropy = %v", h)
+	}
+	if h := EntropyFromProbs([]float64{0, 1}); h != 0 {
+		t.Errorf("deterministic probs entropy = %v", h)
+	}
+}
+
+func TestDiscreteEntropyAndJoint(t *testing.T) {
+	// X uniform on {0,1}; Y = X; Z independent uniform on {0,1}.
+	var rows [][]int
+	for x := 0; x < 2; x++ {
+		for z := 0; z < 2; z++ {
+			rows = append(rows, []int{x, x, z})
+		}
+	}
+	d := NewDiscreteDataset(rows)
+	if h := d.Entropy(0); math.Abs(h-1) > 1e-12 {
+		t.Errorf("H(X) = %v", h)
+	}
+	if h := d.JointEntropy([]int{0, 1}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("H(X,Y) = %v, want 1 (Y=X)", h)
+	}
+	if h := d.JointEntropy([]int{0, 2}); math.Abs(h-2) > 1e-12 {
+		t.Errorf("H(X,Z) = %v, want 2", h)
+	}
+}
+
+func TestDiscreteMutualInfo(t *testing.T) {
+	var rows [][]int
+	for x := 0; x < 2; x++ {
+		for z := 0; z < 2; z++ {
+			rows = append(rows, []int{x, x, z})
+		}
+	}
+	d := NewDiscreteDataset(rows)
+	if mi := d.MutualInfo(0, 1); math.Abs(mi-1) > 1e-12 {
+		t.Errorf("I(X;X) = %v, want 1", mi)
+	}
+	if mi := d.MutualInfo(0, 2); math.Abs(mi) > 1e-12 {
+		t.Errorf("I(X;Z) = %v, want 0", mi)
+	}
+}
+
+func TestDiscreteMultiInfo(t *testing.T) {
+	// Three copies of the same fair bit: I = ΣH − H_joint = 3 − 1 = 2.
+	rows := [][]int{{0, 0, 0}, {1, 1, 1}}
+	d := NewDiscreteDataset(rows)
+	if mi := d.MultiInfo([]int{0, 1, 2}); math.Abs(mi-2) > 1e-12 {
+		t.Errorf("multi-info of triplicated bit = %v, want 2", mi)
+	}
+	if mi := d.MultiInfo([]int{0}); mi != 0 {
+		t.Errorf("single-variable multi-info = %v, want 0", mi)
+	}
+}
+
+// TestDecompositionIdentityExact verifies Eq. (5) exactly on plug-in
+// estimates: I(X₁,…,X₄) = I(X̃₁,X̃₂) + I(X₁,X₂) + I(X₃,X₄) for the
+// grouping X̃₁ = (X₁,X₂), X̃₂ = (X₃,X₄), on arbitrary random data.
+func TestDecompositionIdentityExact(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		m := 64
+		rows := make([][]int, m)
+		for s := range rows {
+			// Correlated structure: x1 drives x2, x3 drives x4, and
+			// a global bit couples the halves.
+			g := r.IntN(2)
+			x1 := r.IntN(3)
+			x2 := (x1 + r.IntN(2)) % 3
+			x3 := (g + r.IntN(2)) % 2
+			x4 := (x3 + g) % 2
+			rows[s] = []int{x1, x2, x3, x4}
+		}
+		d := NewDiscreteDataset(rows)
+		total := d.MultiInfo([]int{0, 1, 2, 3})
+		between := d.MultiInfoGrouped([][]int{{0, 1}, {2, 3}})
+		within := d.MultiInfo([]int{0, 1}) + d.MultiInfo([]int{2, 3})
+		if math.Abs(total-(between+within)) > 1e-9 {
+			t.Fatalf("trial %d: decomposition broken: %v vs %v + %v", trial, total, between, within)
+		}
+	}
+}
+
+func TestDiscreteDatasetShape(t *testing.T) {
+	d := NewDiscreteDataset([][]int{{1, 2}, {3, 4}, {5, 6}})
+	if d.NumSamples() != 3 || d.NumVars() != 2 {
+		t.Fatal("shape wrong")
+	}
+	if d.At(1, 1) != 4 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestDiscreteDatasetPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDiscreteDataset(nil) },
+		func() { NewDiscreteDataset([][]int{{1}, {1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestJointKeyDistinguishesLargeValues(t *testing.T) {
+	// Values beyond one byte must not collide in the key encoding.
+	d := NewDiscreteDataset([][]int{{256}, {1}, {65536}})
+	if h := d.Entropy(0); math.Abs(h-math.Log2(3)) > 1e-12 {
+		t.Fatalf("entropy = %v, want log2(3): key collision?", h)
+	}
+}

@@ -1,0 +1,206 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding for
+// points in the plane. It is the dimensionality-reduction substrate of
+// Sec. 5.3.1 of the paper: for collectives of more than ~60 particles the
+// per-particle observer variables are replaced by l·k cluster-mean
+// variables, one k-means per particle type.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rngx"
+	"repro/internal/vec"
+)
+
+// Result describes a clustering.
+type Result struct {
+	// Centroids are the k cluster centres.
+	Centroids []vec.Vec2
+	// Assign[i] is the cluster index of input point i.
+	Assign []int
+	// SSE is the within-cluster sum of squared distances (the k-means
+	// objective) at convergence.
+	SSE float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Options configures Cluster.
+type Options struct {
+	// MaxIterations bounds the Lloyd loop; 0 means the default (100).
+	MaxIterations int
+	// Tolerance stops when the SSE improves by less than this between
+	// iterations; 0 means the default (1e-10).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-10
+	}
+	return o
+}
+
+// Cluster partitions points into k clusters. k must satisfy
+// 1 ≤ k ≤ len(points). Seeding is k-means++ (squared-distance-proportional
+// sampling) driven by rng, so results are deterministic for a fixed stream.
+func Cluster(points []vec.Vec2, k int, rng rngx.Source, opt Options) (Result, error) {
+	n := len(points)
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("kmeans: k=%d out of range [1,%d]", k, n)
+	}
+	opt = opt.withDefaults()
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]vec.Vec2, k)
+
+	prevSSE := math.Inf(1)
+	iters := 0
+	var sse float64
+	for ; iters < opt.MaxIterations; iters++ {
+		// Assignment step.
+		sse = 0
+		for i, p := range points {
+			best, bestD2 := 0, p.Dist2(centroids[0])
+			for c := 1; c < k; c++ {
+				if d2 := p.Dist2(centroids[c]); d2 < bestD2 {
+					best, bestD2 = c, d2
+				}
+			}
+			assign[i] = best
+			sse += bestD2
+		}
+		if prevSSE-sse < opt.Tolerance {
+			iters++
+			break
+		}
+		prevSSE = sse
+		// Update step.
+		for c := range sums {
+			sums[c] = vec.Vec2{}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sums[c] = sums[c].Add(p)
+			counts[c]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: re-seed on the point farthest
+				// from its centroid, a standard repair that
+				// keeps k clusters alive.
+				centroids[c] = farthestPoint(points, centroids, assign)
+				continue
+			}
+			centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+	}
+	return Result{Centroids: centroids, Assign: assign, SSE: sse, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ scheme: the
+// first uniformly, each subsequent one with probability proportional to its
+// squared distance to the nearest centroid chosen so far.
+func seedPlusPlus(points []vec.Vec2, k int, rng rngx.Source) []vec.Vec2 {
+	n := len(points)
+	centroids := make([]vec.Vec2, 0, k)
+	centroids = append(centroids, points[rng.IntN(n)])
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			nd := p.Dist2(last)
+			if len(centroids) == 1 || nd < d2[i] {
+				d2[i] = nd
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a centroid; any
+			// choice is equivalent.
+			centroids = append(centroids, points[rng.IntN(n)])
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick])
+	}
+	return centroids
+}
+
+func farthestPoint(points []vec.Vec2, centroids []vec.Vec2, assign []int) vec.Vec2 {
+	best, bestD2 := 0, -1.0
+	for i, p := range points {
+		if d2 := p.Dist2(centroids[assign[i]]); d2 > bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return points[best]
+}
+
+// PartitionByType clusters the particles of each type separately and
+// returns, per type t, the list of particle-index groups (k groups per
+// type, some possibly smaller when a type has fewer than k members — then
+// min(k, count) groups are used). typeOf[i] gives particle i's type; l is
+// the number of types. This realises the paper's "k-means clustering on the
+// particles of each type" on a chosen anchor frame; the groups are then
+// held fixed across samples so that the reduced mean variables are
+// consistent observers (see internal/observer).
+func PartitionByType(points []vec.Vec2, typeOf []int, l, k int, rng rngx.Source) ([][][]int, error) {
+	if len(points) != len(typeOf) {
+		return nil, fmt.Errorf("kmeans: %d points, %d types", len(points), len(typeOf))
+	}
+	members := make([][]int, l)
+	for i, t := range typeOf {
+		if t < 0 || t >= l {
+			return nil, fmt.Errorf("kmeans: particle %d has type %d, want [0,%d)", i, t, l)
+		}
+		members[t] = append(members[t], i)
+	}
+	groups := make([][][]int, l)
+	for t := 0; t < l; t++ {
+		if len(members[t]) == 0 {
+			continue
+		}
+		kt := k
+		if kt > len(members[t]) {
+			kt = len(members[t])
+		}
+		pts := make([]vec.Vec2, len(members[t]))
+		for j, i := range members[t] {
+			pts[j] = points[i]
+		}
+		res, err := Cluster(pts, kt, rng, Options{})
+		if err != nil {
+			return nil, err
+		}
+		byCluster := make([][]int, kt)
+		for j, c := range res.Assign {
+			byCluster[c] = append(byCluster[c], members[t][j])
+		}
+		// Drop empty groups (possible only via the empty-cluster
+		// repair path racing the final assignment).
+		for _, g := range byCluster {
+			if len(g) > 0 {
+				groups[t] = append(groups[t], g)
+			}
+		}
+	}
+	return groups, nil
+}

@@ -1,0 +1,214 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rngx"
+	"repro/internal/vec"
+)
+
+func gaussianBlobs(rng rngx.Source, centers []vec.Vec2, perBlob int, spread float64) []vec.Vec2 {
+	var pts []vec.Vec2
+	for _, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			pts = append(pts, vec.Vec2{
+				X: c.X + rng.NormFloat64()*spread,
+				Y: c.Y + rng.NormFloat64()*spread,
+			})
+		}
+	}
+	return pts
+}
+
+func TestClusterRecoversWellSeparatedBlobs(t *testing.T) {
+	rng := rngx.New(1)
+	centers := []vec.Vec2{v2(0, 0), v2(20, 0), v2(0, 20)}
+	pts := gaussianBlobs(rng, centers, 30, 0.5)
+	res, err := Cluster(pts, 3, rngx.New(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every recovered centroid must be within 1 unit of a true centre.
+	for _, c := range res.Centroids {
+		best := math.Inf(1)
+		for _, tc := range centers {
+			best = math.Min(best, c.Dist(tc))
+		}
+		if best > 1 {
+			t.Fatalf("centroid %v far from every true centre", c)
+		}
+	}
+	// Points within one blob must share a cluster.
+	for b := 0; b < 3; b++ {
+		first := res.Assign[b*30]
+		for i := 1; i < 30; i++ {
+			if res.Assign[b*30+i] != first {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+}
+
+func TestClusterAssignmentsAreNearest(t *testing.T) {
+	rng := rngx.New(3)
+	pts := gaussianBlobs(rng, []vec.Vec2{v2(0, 0), v2(8, 8)}, 25, 1.5)
+	res, err := Cluster(pts, 4, rngx.New(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		got := res.Assign[i]
+		for c := range res.Centroids {
+			if p.Dist2(res.Centroids[c]) < p.Dist2(res.Centroids[got])-1e-9 {
+				t.Fatalf("point %d assigned to non-nearest centroid", i)
+			}
+		}
+	}
+}
+
+func TestClusterSSEConsistent(t *testing.T) {
+	rng := rngx.New(5)
+	pts := gaussianBlobs(rng, []vec.Vec2{v2(0, 0), v2(10, 0)}, 20, 1)
+	res, err := Cluster(pts, 2, rngx.New(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i, p := range pts {
+		want += p.Dist2(res.Centroids[res.Assign[i]])
+	}
+	if math.Abs(res.SSE-want) > 1e-9 {
+		t.Fatalf("SSE = %v, recomputed %v", res.SSE, want)
+	}
+}
+
+func TestClusterMoreClustersNeverWorse(t *testing.T) {
+	// Optimal SSE is non-increasing in k; Lloyd is not optimal but on
+	// well-separated data the recovered SSE should still decrease
+	// substantially from k=1 to k=3.
+	rng := rngx.New(7)
+	pts := gaussianBlobs(rng, []vec.Vec2{v2(0, 0), v2(15, 0), v2(0, 15)}, 20, 0.5)
+	r1, _ := Cluster(pts, 1, rngx.New(8), Options{})
+	r3, _ := Cluster(pts, 3, rngx.New(9), Options{})
+	if r3.SSE > r1.SSE/10 {
+		t.Fatalf("k=3 SSE %v not ≪ k=1 SSE %v on separated blobs", r3.SSE, r1.SSE)
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	pts := []vec.Vec2{v2(0, 0), v2(1, 0), v2(2, 0)}
+	res, err := Cluster(pts, 3, rngx.New(10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-12 {
+		t.Fatalf("k=n SSE = %v, want 0", res.SSE)
+	}
+}
+
+func TestClusterKOne(t *testing.T) {
+	pts := []vec.Vec2{v2(0, 0), v2(4, 0)}
+	res, err := Cluster(pts, 1, rngx.New(11), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[0].Dist(vec.Vec2{X: 2}) > 1e-12 {
+		t.Fatalf("k=1 centroid = %v, want the mean", res.Centroids[0])
+	}
+}
+
+func TestClusterInvalidK(t *testing.T) {
+	pts := []vec.Vec2{v2(0, 0)}
+	if _, err := Cluster(pts, 0, rngx.New(1), Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster(pts, 2, rngx.New(1), Options{}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestClusterDeterministicForFixedStream(t *testing.T) {
+	rng := rngx.New(12)
+	pts := gaussianBlobs(rng, []vec.Vec2{v2(0, 0), v2(9, 9)}, 15, 1)
+	a, _ := Cluster(pts, 2, rngx.New(13), Options{})
+	b, _ := Cluster(pts, 2, rngx.New(13), Options{})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same stream produced different clusterings")
+		}
+	}
+}
+
+func TestClusterDuplicatePoints(t *testing.T) {
+	pts := []vec.Vec2{v2(1, 1), v2(1, 1), v2(1, 1), v2(5, 5)}
+	res, err := Cluster(pts, 2, rngx.New(14), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-12 {
+		t.Fatalf("duplicate-point clustering SSE = %v", res.SSE)
+	}
+}
+
+func TestPartitionByType(t *testing.T) {
+	// 3 types × 8 particles each, each type concentrated in 2 blobs.
+	rng := rngx.New(15)
+	var pts []vec.Vec2
+	var typeOf []int
+	for ty := 0; ty < 3; ty++ {
+		off := float64(ty) * 100
+		pts = append(pts, gaussianBlobs(rng, []vec.Vec2{v2(off, 0), v2(off+10, 0)}, 4, 0.3)...)
+		for i := 0; i < 8; i++ {
+			typeOf = append(typeOf, ty)
+		}
+	}
+	groups, err := PartitionByType(pts, typeOf, 3, 2, rngx.New(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d type entries", len(groups))
+	}
+	seen := map[int]bool{}
+	for ty, perType := range groups {
+		if len(perType) != 2 {
+			t.Fatalf("type %d: %d groups, want 2", ty, len(perType))
+		}
+		for _, g := range perType {
+			for _, i := range g {
+				if typeOf[i] != ty {
+					t.Fatalf("particle %d (type %d) grouped under type %d", i, typeOf[i], ty)
+				}
+				if seen[i] {
+					t.Fatalf("particle %d in two groups", i)
+				}
+				seen[i] = true
+			}
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("%d of %d particles grouped", len(seen), len(pts))
+	}
+}
+
+func TestPartitionByTypeKLargerThanMembers(t *testing.T) {
+	pts := []vec.Vec2{v2(0, 0), v2(1, 0), v2(10, 10)}
+	typeOf := []int{0, 0, 1}
+	groups, err := PartitionByType(pts, typeOf, 2, 5, rngx.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups[0]) != 2 || len(groups[1]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestPartitionByTypeValidation(t *testing.T) {
+	if _, err := PartitionByType([]vec.Vec2{v2(0, 0)}, []int{0, 1}, 2, 1, rngx.New(1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PartitionByType([]vec.Vec2{v2(0, 0)}, []int{5}, 2, 1, rngx.New(1)); err == nil {
+		t.Error("out-of-range type accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package mathx
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, -EulerGamma},
+		{0.5, -EulerGamma - 2*math.Ln2},
+		{2, 1 - EulerGamma},
+		{3, 1.5 - EulerGamma},
+		{10, -EulerGamma + HarmonicNumber(9)},
+		{100, -EulerGamma + HarmonicNumber(99)},
+	}
+	for _, c := range cases {
+		got := Digamma(c.x)
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("Digamma(%g) = %.15f, want %.15f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x across a wide range, including the shifted
+	// small-argument branch.
+	for _, x := range []float64{0.1, 0.7, 1.3, 2.5, 5.9, 6.1, 17.5, 123.4} {
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("recurrence broken at x=%g: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaReflection(t *testing.T) {
+	// ψ(1−x) − ψ(x) = π·cot(πx) for non-integer x.
+	for _, x := range []float64{-0.5, -1.3, -2.7} {
+		lhs := Digamma(1-x) - Digamma(x)
+		rhs := math.Pi / math.Tan(math.Pi*x)
+		if math.Abs(lhs-rhs) > 1e-8 {
+			t.Errorf("reflection broken at x=%g: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaPoles(t *testing.T) {
+	for _, x := range []float64{0, -1, -2, -10} {
+		if !math.IsNaN(Digamma(x)) {
+			t.Errorf("Digamma(%g) should be NaN at pole", x)
+		}
+	}
+	if !math.IsNaN(Digamma(math.NaN())) {
+		t.Error("Digamma(NaN) should be NaN")
+	}
+}
+
+func TestDigammaMonotoneOnPositives(t *testing.T) {
+	// ψ is strictly increasing on (0, ∞).
+	prev := Digamma(0.05)
+	for x := 0.1; x < 50; x += 0.05 {
+		cur := Digamma(x)
+		if cur <= prev {
+			t.Fatalf("Digamma not increasing at x=%g", x)
+		}
+		prev = cur
+	}
+}
+
+func TestDigammaAsymptotic(t *testing.T) {
+	// ψ(x) → ln x − 1/(2x) for large x.
+	for _, x := range []float64{1e3, 1e6} {
+		want := math.Log(x) - 1/(2*x)
+		if math.Abs(Digamma(x)-want) > 1e-7 {
+			t.Errorf("asymptote broken at %g", x)
+		}
+	}
+}
+
+func TestHarmonicNumber(t *testing.T) {
+	if HarmonicNumber(0) != 0 {
+		t.Error("H_0 != 0")
+	}
+	if HarmonicNumber(1) != 1 {
+		t.Error("H_1 != 1")
+	}
+	if math.Abs(HarmonicNumber(4)-(1+0.5+1.0/3+0.25)) > 1e-15 {
+		t.Error("H_4 wrong")
+	}
+}
+
+func TestKahanSumCatastrophicCancellation(t *testing.T) {
+	// 1 + 1e-16 added 1e5 times: naive summation loses the small terms.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 100000; i++ {
+		k.Add(1e-16)
+	}
+	want := 1 + 1e-11
+	if math.Abs(k.Sum()-want) > 1e-15 {
+		t.Errorf("Kahan sum = %.18f, want %.18f", k.Sum(), want)
+	}
+}
+
+func TestSumMatchesNaiveOnBenignData(t *testing.T) {
+	xs := []float64{1, 2, 3, 4.5, -2.5}
+	if Sum(xs) != 8 {
+		t.Errorf("Sum = %v", Sum(xs))
+	}
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+	// Population variance is 4; sample (n−1) variance is 32/7.
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one sample should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax(nil) should be NaN, NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Median([]float64{5, 1, 3}); q != 3 {
+		t.Errorf("odd median = %v", q)
+	}
+	// Quantile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Fatalf("Linspace[%d] = %v", i, xs[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(…, 1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1, 1+1e-13, 1e-12, 0) {
+		t.Error("atol path broken")
+	}
+	if !ApproxEqual(1e6, 1e6*(1+1e-10), 0, 1e-9) {
+		t.Error("rtol path broken")
+	}
+	if ApproxEqual(1, 2, 1e-12, 1e-12) {
+		t.Error("clearly different values reported equal")
+	}
+}
+
+// Property: quantile is monotone in q (uses testing/quick over q pairs).
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	f := func(a, b float64) bool {
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Kahan sum of shuffled data equals sum of sorted data to high
+// precision.
+func TestSumPermutationInvariantProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * math.Pow(10, float64(r.IntN(8)))
+		}
+		s1 := Sum(xs)
+		r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		s2 := Sum(xs)
+		if !ApproxEqual(s1, s2, 1e-9, 1e-12) {
+			t.Fatalf("sum not permutation invariant: %v vs %v", s1, s2)
+		}
+	}
+}

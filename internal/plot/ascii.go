@@ -1,0 +1,106 @@
+// Package plot renders the repository's figures without any external
+// dependency: multi-series ASCII line charts for terminals, SVG output for
+// particle configurations and curves, and CSV export for downstream
+// tooling. It is the substitution for the paper's (unspecified) plotting
+// stack — see DESIGN.md.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart is a multi-series scatter/line chart rendered to a character grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name string
+	x, y []float64
+}
+
+// seriesMarks assigns each series a distinct glyph.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Add appends a series. X and Y must have equal length.
+func (c *Chart) Add(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic("plot: series length mismatch")
+	}
+	c.series = append(c.series, chartSeries{name, x, y})
+}
+
+// Render draws the chart into a width×height character canvas (axes and
+// legend added around it). Non-finite points are skipped.
+func (c *Chart) Render(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.x {
+			if !finite(s.x[i]) || !finite(s.y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.x[i])
+			xmax = math.Max(xmax, s.x[i])
+			ymin = math.Min(ymin, s.y[i])
+			ymax = math.Max(ymax, s.y[i])
+		}
+	}
+	if !finite(xmin) || !finite(ymin) {
+		return c.Title + "\n(no finite data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.x {
+			if !finite(s.x[i]) || !finite(s.y[i]) {
+				continue
+			}
+			col := int(math.Round((s.x[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((ymax - s.y[i]) / (ymax - ymin) * float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%10.3g ┤\n", ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", ymin, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-10.3g%*s%10.3g\n", "", xmin, width-20, "", xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", seriesMarks[si%len(seriesMarks)], s.name)
+	}
+	return b.String()
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

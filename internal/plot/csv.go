@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteSeriesCSV writes named series as long-format CSV rows
+// (series,x,y), the exchange format the figure CLI emits next to each
+// chart. Series may have different lengths.
+func WriteSeriesCSV(w io.Writer, names []string, xs, ys [][]float64) error {
+	if len(names) != len(xs) || len(names) != len(ys) {
+		return fmt.Errorf("plot: %d names, %d x-series, %d y-series", len(names), len(xs), len(ys))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for si, name := range names {
+		if len(xs[si]) != len(ys[si]) {
+			return fmt.Errorf("plot: series %q length mismatch", name)
+		}
+		for i := range xs[si] {
+			rec := []string{name, formatFloat(xs[si][i]), formatFloat(ys[si][i])}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV parses the long-format CSV written by WriteSeriesCSV.
+func ReadSeriesCSV(r io.Reader) (names []string, xs, ys [][]float64, err error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(records) == 0 {
+		return nil, nil, nil, fmt.Errorf("plot: empty CSV")
+	}
+	index := map[string]int{}
+	for _, rec := range records[1:] {
+		if len(rec) != 3 {
+			return nil, nil, nil, fmt.Errorf("plot: bad record %v", rec)
+		}
+		x, errX := strconv.ParseFloat(rec[1], 64)
+		y, errY := strconv.ParseFloat(rec[2], 64)
+		if errX != nil || errY != nil {
+			return nil, nil, nil, fmt.Errorf("plot: bad numbers in %v", rec)
+		}
+		si, ok := index[rec[0]]
+		if !ok {
+			si = len(names)
+			index[rec[0]] = si
+			names = append(names, rec[0])
+			xs = append(xs, nil)
+			ys = append(ys, nil)
+		}
+		xs[si] = append(xs[si], x)
+		ys[si] = append(ys[si], y)
+	}
+	return names, xs, ys, nil
+}
+
+func formatFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "inf"
+	}
+	if math.IsInf(x, -1) {
+		return "-inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,116 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/vec"
+)
+
+// typePalette colours particle types in SVG output; indices wrap.
+var typePalette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// SVGScatter renders a typed particle configuration as an SVG document:
+// one circle per particle, coloured by type, auto-scaled to the canvas with
+// a margin. It reproduces the paper's configuration panels (Figs. 1, 3, 6,
+// 7, 12).
+func SVGScatter(title string, pos []vec.Vec2, types []int, canvasPx int) string {
+	if canvasPx <= 0 {
+		canvasPx = 480
+	}
+	min, max := vec.BoundingBox(pos)
+	w := math.Max(max.X-min.X, 1e-9)
+	h := math.Max(max.Y-min.Y, 1e-9)
+	scale := float64(canvasPx-40) / math.Max(w, h)
+	r := math.Max(3, scale*0.12)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		canvasPx, canvasPx, canvasPx, canvasPx)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="8" y="16" font-family="sans-serif" font-size="12">%s</text>`+"\n", xmlEscape(title))
+	}
+	for i, p := range pos {
+		cx := 20 + (p.X-min.X)*scale
+		cy := float64(canvasPx) - 20 - (p.Y-min.Y)*scale // flip y for screen coords
+		color := typePalette[0]
+		if types != nil {
+			color = typePalette[types[i]%len(typePalette)]
+		}
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" fill-opacity="0.8"/>`+"\n", cx, cy, r, color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVGLines renders named (x, y) series as polylines with a light axis box.
+func SVGLines(title string, names []string, xs, ys [][]float64, canvasPx int) string {
+	if canvasPx <= 0 {
+		canvasPx = 480
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for si := range xs {
+		for i := range xs[si] {
+			if !finite(xs[si][i]) || !finite(ys[si][i]) {
+				continue
+			}
+			xmin = math.Min(xmin, xs[si][i])
+			xmax = math.Max(xmax, xs[si][i])
+			ymin = math.Min(ymin, ys[si][i])
+			ymax = math.Max(ymax, ys[si][i])
+		}
+	}
+	if !finite(xmin) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	margin := 40.0
+	inner := float64(canvasPx) - 2*margin
+	px := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*inner }
+	py := func(y float64) float64 { return float64(canvasPx) - margin - (y-ymin)/(ymax-ymin)*inner }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", canvasPx, canvasPx)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#999"/>`+"\n",
+		margin, margin, inner, inner)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="8" y="16" font-family="sans-serif" font-size="12">%s</text>`+"\n", xmlEscape(title))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%.3g</text>`+"\n", 4.0, py(ymin), ymin)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%.3g</text>`+"\n", 4.0, py(ymax)+10, ymax)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%.3g</text>`+"\n", px(xmin), float64(canvasPx)-24, xmin)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%.3g</text>`+"\n", px(xmax)-24, float64(canvasPx)-24, xmax)
+	for si := range xs {
+		color := typePalette[si%len(typePalette)]
+		var pts []string
+		for i := range xs[si] {
+			if !finite(xs[si][i]) || !finite(ys[si][i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(xs[si][i]), py(ys[si][i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="%s">%s</text>`+"\n",
+			margin+4, margin+14+12*float64(si), color, xmlEscape(names[si]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,169 @@
+package rngx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestSplitIsStable(t *testing.T) {
+	a := Split(7, 3)
+	b := Split(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split not stable")
+		}
+	}
+}
+
+func TestSplitStreamsAreIndependentOfCreationOrder(t *testing.T) {
+	// Stream 5 must be the same whether or not other streams were made.
+	first := Split(99, 5).Uint64()
+	_ = Split(99, 0).Uint64()
+	_ = Split(99, 1).Uint64()
+	second := Split(99, 5).Uint64()
+	if first != second {
+		t.Fatal("stream depends on creation order")
+	}
+}
+
+func TestSplitStreamsDecorrelated(t *testing.T) {
+	// Adjacent streams must not produce correlated output; check the
+	// first draws of 1000 consecutive streams look uniform.
+	n := 1000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Split(123, uint64(i)).Float64()
+	}
+	mean := sum / float64(n)
+	// Uniform(0,1) mean 0.5, std of the mean ≈ 0.289/√1000 ≈ 0.009.
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("stream first-draw mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	n := 200000
+	mean, variance := 1.5, 0.05 // the paper's noise variance
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(mean, variance)
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / float64(n)
+	v := sumSq/float64(n) - m*m
+	if math.Abs(m-mean) > 0.01 {
+		t.Errorf("sample mean = %v, want %v", m, mean)
+	}
+	if math.Abs(v-variance) > 0.005 {
+		t.Errorf("sample variance = %v, want %v", v, variance)
+	}
+}
+
+func TestNormalZeroVariance(t *testing.T) {
+	r := New(1)
+	if x := r.Normal(3, 0); x != 3 {
+		t.Fatalf("Normal(3,0) = %v", x)
+	}
+}
+
+func TestNormalNegativeVariancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative variance should panic")
+		}
+	}()
+	New(1).Normal(0, -1)
+}
+
+func TestUniformInRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		x := r.UniformIn(2, 8)
+		if x < 2 || x >= 8 {
+			t.Fatalf("UniformIn out of range: %v", x)
+		}
+	}
+}
+
+func TestUniformDiscStatistics(t *testing.T) {
+	r := New(11)
+	radius := 5.0
+	n := 100000
+	inside, inHalfRadius := 0, 0
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		x, y := r.UniformDisc(radius)
+		d2 := x*x + y*y
+		if d2 <= radius*radius {
+			inside++
+		}
+		if d2 <= radius*radius/4 {
+			inHalfRadius++
+		}
+		sx += x
+		sy += y
+	}
+	if inside != n {
+		t.Fatalf("%d/%d points outside the disc", n-inside, n)
+	}
+	// Uniform area ⇒ quarter of the mass within half the radius.
+	frac := float64(inHalfRadius) / float64(n)
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("mass within r/2 = %v, want 0.25 (area-uniform)", frac)
+	}
+	if math.Abs(sx/float64(n)) > 0.05 || math.Abs(sy/float64(n)) > 0.05 {
+		t.Errorf("disc mean = (%v,%v), want ≈ origin", sx/float64(n), sy/float64(n))
+	}
+}
+
+func TestUniformDiscConstantConsumption(t *testing.T) {
+	// UniformDisc must consume exactly two draws per call: the
+	// trajectory-invariance property tests rely on deterministic
+	// stream alignment.
+	a := New(77)
+	b := New(77)
+	a.UniformDisc(3)
+	b.Float64()
+	b.Float64()
+	if a.Float64() != b.Float64() {
+		t.Fatal("UniformDisc consumed a variable number of draws")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

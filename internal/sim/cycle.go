@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"repro/internal/vec"
+)
+
+// CycleDetector detects periodic limit cycles in a trajectory. Sec. 6 of
+// the paper observes that some runs never satisfy the force-based
+// equilibrium criterion but instead "reach a limit cycle with a periodic
+// dynamic"; this detector recognises that situation so the harness can
+// classify terminal behaviours (equilibrium / expanding / limit cycle).
+//
+// Detection is by configuration recurrence: the trajectory has an
+// (approximate) period p if the current frame matches the frame p recorded
+// steps ago within tolerance, for every particle, sustained over at least
+// one further period. Matching is done on centred configurations so a
+// slowly drifting but internally periodic collective is still recognised.
+type CycleDetector struct {
+	// Tolerance is the maximum per-particle displacement (after
+	// centring) for two frames to be considered equal. It should be
+	// comfortably above the noise amplitude per step and below the
+	// inter-particle spacing.
+	Tolerance float64
+	// MaxPeriod bounds the periods searched.
+	MaxPeriod int
+
+	frames [][]vec.Vec2
+}
+
+// Observe appends a frame (copied and centred) to the detector's history.
+func (c *CycleDetector) Observe(frame []vec.Vec2) {
+	cp := append([]vec.Vec2(nil), frame...)
+	vec.Center(cp)
+	c.frames = append(c.frames, cp)
+}
+
+// framesEqual reports whether two centred frames agree within tolerance.
+func (c *CycleDetector) framesEqual(a, b []vec.Vec2) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	t2 := c.Tolerance * c.Tolerance
+	for i := range a {
+		if a[i].Dist2(b[i]) > t2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Period returns the smallest period p ≥ 1 (in observed frames) such that
+// the trailing 2·p frames consist of two matching length-p blocks, or 0 if
+// no period up to MaxPeriod is found. A period of 1 means the configuration
+// is stationary to within tolerance (an equilibrium in the recurrence
+// sense).
+func (c *CycleDetector) Period() int {
+	n := len(c.frames)
+	maxP := c.MaxPeriod
+	if maxP <= 0 {
+		maxP = n / 2
+	}
+	for p := 1; p <= maxP && 2*p <= n; p++ {
+		ok := true
+		for k := 1; k <= p; k++ {
+			if !c.framesEqual(c.frames[n-k], c.frames[n-k-p]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return 0
+}
+
+// Len returns the number of observed frames.
+func (c *CycleDetector) Len() int { return len(c.frames) }
+
+// Reset discards the observation history.
+func (c *CycleDetector) Reset() { c.frames = c.frames[:0] }

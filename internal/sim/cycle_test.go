@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestCycleDetectorStationary(t *testing.T) {
+	d := &CycleDetector{Tolerance: 1e-6}
+	frame := []vec.Vec2{v2(0, 0), v2(1, 0), v2(0, 1)}
+	for i := 0; i < 10; i++ {
+		d.Observe(frame)
+	}
+	if p := d.Period(); p != 1 {
+		t.Fatalf("stationary sequence: period = %d, want 1", p)
+	}
+}
+
+func TestCycleDetectorPeriodThree(t *testing.T) {
+	d := &CycleDetector{Tolerance: 1e-6}
+	// Three distinct configurations cycling; relative geometry differs
+	// so centring cannot collapse them.
+	a := []vec.Vec2{v2(0, 0), v2(2, 0)}
+	b := []vec.Vec2{v2(0, 0), v2(3, 0)}
+	c := []vec.Vec2{v2(0, 0), v2(4, 0)}
+	for i := 0; i < 4; i++ {
+		d.Observe(a)
+		d.Observe(b)
+		d.Observe(c)
+	}
+	if p := d.Period(); p != 3 {
+		t.Fatalf("period = %d, want 3", p)
+	}
+}
+
+func TestCycleDetectorNoPeriod(t *testing.T) {
+	d := &CycleDetector{Tolerance: 1e-9}
+	for i := 0; i < 12; i++ {
+		// Monotonically expanding pair: never recurrent.
+		d.Observe([]vec.Vec2{v2(0, 0), v2(float64(i+1), 0)})
+	}
+	if p := d.Period(); p != 0 {
+		t.Fatalf("aperiodic sequence: period = %d, want 0", p)
+	}
+}
+
+func TestCycleDetectorToleratesNoise(t *testing.T) {
+	d := &CycleDetector{Tolerance: 0.05}
+	base := []vec.Vec2{v2(0, 0), v2(2, 0), v2(1, 1.5)}
+	for i := 0; i < 8; i++ {
+		jitter := 0.01 * math.Sin(float64(i))
+		frame := []vec.Vec2{
+			v2(jitter, 0),
+			v2(2+jitter, jitter),
+			v2(1, 1.5-jitter),
+		}
+		d.Observe(frame)
+	}
+	_ = base
+	if p := d.Period(); p != 1 {
+		t.Fatalf("noisy stationary sequence: period = %d, want 1", p)
+	}
+}
+
+func TestCycleDetectorDriftInvariance(t *testing.T) {
+	// A drifting but internally static configuration is period 1 after
+	// centring.
+	d := &CycleDetector{Tolerance: 1e-9}
+	for i := 0; i < 6; i++ {
+		shift := vec.Vec2{X: float64(i) * 10, Y: float64(i)}
+		d.Observe([]vec.Vec2{shift, shift.Add(vec.Vec2{X: 2}), shift.Add(vec.Vec2{Y: 3})})
+	}
+	if p := d.Period(); p != 1 {
+		t.Fatalf("drifting static sequence: period = %d, want 1", p)
+	}
+}
+
+func TestCycleDetectorMaxPeriodBound(t *testing.T) {
+	d := &CycleDetector{Tolerance: 1e-9, MaxPeriod: 2}
+	a := []vec.Vec2{v2(0, 0), v2(2, 0)}
+	b := []vec.Vec2{v2(0, 0), v2(3, 0)}
+	c := []vec.Vec2{v2(0, 0), v2(4, 0)}
+	for i := 0; i < 4; i++ {
+		d.Observe(a)
+		d.Observe(b)
+		d.Observe(c)
+	}
+	if p := d.Period(); p != 0 {
+		t.Fatalf("period 3 found despite MaxPeriod=2: got %d", p)
+	}
+}
+
+func TestCycleDetectorReset(t *testing.T) {
+	d := &CycleDetector{Tolerance: 1e-9}
+	d.Observe([]vec.Vec2{v2(0, 0)})
+	d.Observe([]vec.Vec2{v2(0, 0)})
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatal("Reset did not clear history")
+	}
+	if p := d.Period(); p != 0 {
+		t.Fatal("empty detector should report no period")
+	}
+}

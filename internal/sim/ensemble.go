@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rngx"
+	"repro/internal/vec"
+)
+
+// EnsembleConfig describes an experiment's ensemble: m independent runs of
+// the same Config with different random streams (Sec. 5.1: "to gather
+// statistics for an experiment, we need to run the simulation multiple
+// times").
+type EnsembleConfig struct {
+	// Sim is the per-run configuration (shared by all samples).
+	Sim Config
+	// M is the number of samples (the paper uses 500–1000).
+	M int
+	// Steps is t_max, the number of integrator steps per run (the paper
+	// uses 100–250).
+	Steps int
+	// RecordEvery selects which frames are kept: steps 0, RecordEvery,
+	// 2·RecordEvery, …, and always the final step. 1 keeps everything;
+	// 0 defaults to 1.
+	RecordEvery int
+	// Seed is the experiment master seed; sample i runs on the
+	// deterministic sub-stream Split(Seed, i), so results do not depend
+	// on scheduling.
+	Seed uint64
+	// Workers bounds the simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Trajectory is the recorded output of one sample: Frames[t][i] is the
+// position of particle i at recorded step Times[t].
+type Trajectory struct {
+	Times  []int
+	Frames [][]vec.Vec2
+}
+
+// Ensemble is the recorded output of all m samples of an experiment, the
+// raw material z of Sec. 5.1 (Eq. 17).
+type Ensemble struct {
+	Cfg   EnsembleConfig
+	Types []int
+	// Trajs[s] is sample s. All trajectories share the same Times.
+	Trajs []Trajectory
+	// Equilibrated[s] reports whether sample s met the equilibrium
+	// criterion at some recorded point during its run.
+	Equilibrated []bool
+}
+
+// Times returns the shared recorded step indices.
+func (e *Ensemble) Times() []int {
+	if len(e.Trajs) == 0 {
+		return nil
+	}
+	return e.Trajs[0].Times
+}
+
+// FramesAt collects frame t (an index into Times, not a step count) across
+// all samples: the z^(t) sample matrix of Eq. (17). The returned slices
+// alias the stored trajectories; treat them as read-only.
+func (e *Ensemble) FramesAt(t int) [][]vec.Vec2 {
+	out := make([][]vec.Vec2, len(e.Trajs))
+	for s := range e.Trajs {
+		out[s] = e.Trajs[s].Frames[t]
+	}
+	return out
+}
+
+// RunEnsemble executes the ensemble on a worker pool. Sample i is seeded
+// with rngx.Split(Seed, i) regardless of which worker runs it, so the
+// result is bit-identical for any worker count.
+func RunEnsemble(ec EnsembleConfig) (*Ensemble, error) {
+	ec.Sim = ec.Sim.WithDefaults()
+	if err := ec.Sim.Validate(); err != nil {
+		return nil, err
+	}
+	if ec.M <= 0 {
+		return nil, errors.New("sim: ensemble M must be positive")
+	}
+	if ec.Steps <= 0 {
+		return nil, errors.New("sim: ensemble Steps must be positive")
+	}
+	if ec.RecordEvery <= 0 {
+		ec.RecordEvery = 1
+	}
+	workers := ec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ec.M {
+		workers = ec.M
+	}
+
+	ens := &Ensemble{
+		Cfg:          ec,
+		Types:        append([]int(nil), ec.Sim.Types...),
+		Trajs:        make([]Trajectory, ec.M),
+		Equilibrated: make([]bool, ec.M),
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		errc = make(chan error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				traj, eq, err := runSample(ec, uint64(s))
+				if err != nil {
+					select {
+					case errc <- fmt.Errorf("sample %d: %w", s, err):
+					default:
+					}
+					return
+				}
+				ens.Trajs[s] = traj
+				ens.Equilibrated[s] = eq
+			}
+		}()
+	}
+	for s := 0; s < ec.M; s++ {
+		next <- s
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	return ens, nil
+}
+
+func runSample(ec EnsembleConfig, stream uint64) (Trajectory, bool, error) {
+	sys, err := New(ec.Sim, rngx.Split(ec.Seed, stream))
+	if err != nil {
+		return Trajectory{}, false, err
+	}
+	nRec := ec.Steps/ec.RecordEvery + 1
+	if ec.Steps%ec.RecordEvery != 0 {
+		nRec++ // final step recorded additionally
+	}
+	traj := Trajectory{
+		Times:  make([]int, 0, nRec),
+		Frames: make([][]vec.Vec2, 0, nRec),
+	}
+	record := func() {
+		traj.Times = append(traj.Times, sys.Time())
+		traj.Frames = append(traj.Frames, sys.Positions())
+	}
+	record() // t = 0
+	equilibrated := false
+	for k := 1; k <= ec.Steps; k++ {
+		sys.Step()
+		if sys.InEquilibrium() {
+			equilibrated = true
+		}
+		if k%ec.RecordEvery == 0 || k == ec.Steps {
+			record()
+		}
+	}
+	return traj, equilibrated, nil
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/forces"
+)
+
+func roundTripEnsemble(t *testing.T, ec EnsembleConfig) (*Ensemble, *Ensemble) {
+	t.Helper()
+	orig, err := RunEnsemble(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEnsemble(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, back
+}
+
+func TestEnsembleRoundTripF1(t *testing.T) {
+	orig, back := roundTripEnsemble(t, ensembleConfig(4, 20, 10, 0))
+	if back.Cfg.M != orig.Cfg.M || back.Cfg.Seed != orig.Cfg.Seed {
+		t.Fatal("ensemble parameters lost")
+	}
+	for s := range orig.Trajs {
+		for f := range orig.Trajs[s].Frames {
+			if orig.Trajs[s].Times[f] != back.Trajs[s].Times[f] {
+				t.Fatal("times lost")
+			}
+			for i := range orig.Trajs[s].Frames[f] {
+				if orig.Trajs[s].Frames[f][i] != back.Trajs[s].Frames[f][i] {
+					t.Fatal("frames lost")
+				}
+			}
+		}
+	}
+	// The rebuilt force must evaluate identically.
+	for _, x := range []float64{0.5, 1, 3} {
+		if orig.Cfg.Sim.Force.Eval(0, 1, x) != back.Cfg.Sim.Force.Eval(0, 1, x) {
+			t.Fatal("force lost through serialisation")
+		}
+	}
+}
+
+func TestEnsembleRoundTripF2AndInfiniteCutoff(t *testing.T) {
+	ec := ensembleConfig(2, 10, 5, 0)
+	ec.Sim.Force = forces.MustF2(
+		forces.ConstantMatrix(2, 3),
+		forces.ConstantMatrix(2, 1),
+		forces.MustMatrix([][]float64{{2, 4}, {4, 6}}),
+	)
+	ec.Sim.Cutoff = math.Inf(1)
+	orig, back := roundTripEnsemble(t, ec)
+	if !math.IsInf(back.Cfg.Sim.Cutoff, 1) {
+		t.Fatal("infinite cut-off lost")
+	}
+	if back.Cfg.Sim.Force.Name() != "F2" {
+		t.Fatal("force family lost")
+	}
+	if orig.Cfg.Sim.Force.Eval(0, 1, 2.5) != back.Cfg.Sim.Force.Eval(0, 1, 2.5) {
+		t.Fatal("F2 parameters lost")
+	}
+}
+
+func TestEnsembleSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ens.gob")
+	orig, err := RunEnsemble(ensembleConfig(3, 10, 5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEnsemble(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEnsemble(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Trajs) != len(orig.Trajs) {
+		t.Fatal("trajectories lost")
+	}
+	// A loaded ensemble must be usable by downstream consumers.
+	if frames := back.FramesAt(0); len(frames) != 3 {
+		t.Fatal("FramesAt broken after load")
+	}
+}
+
+func TestReadEnsembleRejectsGarbage(t *testing.T) {
+	if _, err := ReadEnsemble(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestForceSpecRoundTrip(t *testing.T) {
+	f1 := forces.MustF1(forces.ConstantMatrix(3, 2), forces.MustMatrix([][]float64{
+		{1, 2, 3}, {2, 4, 5}, {3, 5, 6},
+	}))
+	spec, err := forces.ToSpec(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if f1.Eval(a, b, 1.7) != back.Eval(a, b, 1.7) {
+				t.Fatal("spec round trip changed F1")
+			}
+		}
+	}
+	if _, err := (forces.Spec{Family: "F9"}).Build(); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := (forces.Spec{Family: "F1", K: [][]float64{{1, 2}, {3, 4}}}).Build(); err == nil {
+		t.Error("asymmetric spec accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// KDTree3 is a static k-d tree over points in R³ supporting exact
+// nearest-neighbour queries. It is the correspondence engine of the ICP
+// alignment: the paper lifts 2-D particle configurations into R³ with the
+// type as third coordinate (Sec. 5.2) so that nearest-neighbour matching
+// never crosses particle types, and queries the reference cloud once per
+// moving point per ICP iteration.
+//
+// The tree stores indices into the original point slice; Nearest returns
+// that index so callers can recover particle identities.
+type KDTree3 struct {
+	points []vec.Vec3
+	nodes  []kdNode
+	root   int32
+}
+
+type kdNode struct {
+	point       vec.Vec3
+	index       int32 // index into the original slice
+	left, right int32 // node indices, -1 for none
+	axis        int8
+}
+
+// NewKDTree3 builds a balanced tree by recursive median split. The input
+// slice is not retained or modified.
+func NewKDTree3(points []vec.Vec3) *KDTree3 {
+	t := &KDTree3{
+		points: points,
+		nodes:  make([]kdNode, 0, len(points)),
+	}
+	idx := make([]int32, len(points))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func coord3(p vec.Vec3, axis int8) float64 {
+	switch axis {
+	case 0:
+		return p.X
+	case 1:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+func (t *KDTree3) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := int8(depth % 3)
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := t.points[idx[a]], t.points[idx[b]]
+		ca, cb := coord3(pa, axis), coord3(pb, axis)
+		if ca != cb {
+			return ca < cb
+		}
+		return idx[a] < idx[b] // stable tie-break for determinism
+	})
+	mid := len(idx) / 2
+	node := kdNode{
+		point: t.points[idx[mid]],
+		index: idx[mid],
+		axis:  axis,
+	}
+	t.nodes = append(t.nodes, node)
+	self := int32(len(t.nodes) - 1)
+	// Children must be built after appending self; record their roots.
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Nearest returns the index (into the construction slice) of the point
+// closest to q in Euclidean distance, and the squared distance. It panics
+// on an empty tree. Ties are broken toward the smaller original index by
+// the deterministic construction order.
+func (t *KDTree3) Nearest(q vec.Vec3) (index int, dist2 float64) {
+	if t.root < 0 {
+		panic("spatial: Nearest on empty KDTree3")
+	}
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	t.search(t.root, q, &best, &bestD2)
+	return int(best), bestD2
+}
+
+func (t *KDTree3) search(ni int32, q vec.Vec3, best *int32, bestD2 *float64) {
+	if ni < 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	d2 := n.point.Dist2(q)
+	if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || n.index < *best)) {
+		*bestD2 = d2
+		*best = n.index
+	}
+	delta := coord3(q, n.axis) - coord3(n.point, n.axis)
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, best, bestD2)
+	if delta*delta <= *bestD2 {
+		t.search(far, q, best, bestD2)
+	}
+}
+
+// Len returns the number of points in the tree.
+func (t *KDTree3) Len() int { return len(t.nodes) }
+
+// BruteNearest3 is the reference nearest-neighbour implementation used by
+// tests and by the ICP ablation benchmark.
+func BruteNearest3(points []vec.Vec3, q vec.Vec3) (index int, dist2 float64) {
+	if len(points) == 0 {
+		panic("spatial: BruteNearest3 on empty slice")
+	}
+	best, bestD2 := 0, points[0].Dist2(q)
+	for i := 1; i < len(points); i++ {
+		if d2 := points[i].Dist2(q); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best, bestD2
+}

@@ -1,0 +1,236 @@
+// Package statcomplex implements the measure of self-organization the
+// paper positions itself against (Sec. 3, citing Shalizi): an increase of
+// *statistical complexity* over time, where statistical complexity is the
+// entropy of the causal-state distribution of an ε-machine reconstructed
+// from time-series data.
+//
+// The reconstruction here is a CSSR-style state merger for discrete
+// sequences: histories of up to MaxHistory symbols are grouped into causal
+// states when their empirical next-symbol distributions agree within
+// tolerance. The statistical complexity C_μ = H(S) is the entropy of the
+// stationary state weights, and the entropy rate h_μ is the expected
+// next-symbol entropy. The package also provides the symbolisation that
+// turns particle trajectories into sequences (displacement-octant coding),
+// so the paper's Sec. 7.1 discussion — a uniform collective has vanishing
+// complexity both in its random initial phase and at its frozen
+// equilibrium — becomes a runnable comparison against the
+// multi-information measure.
+package statcomplex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/infotheory"
+	"repro/internal/vec"
+)
+
+// Options configures the reconstruction.
+type Options struct {
+	// Alphabet is the number of distinct symbols (required, ≥ 1).
+	Alphabet int
+	// MaxHistory is the history length L conditioned on; 0 means the
+	// default (2). Memory grows as Alphabet^L.
+	MaxHistory int
+	// Tolerance is the maximum total-variation distance between two
+	// histories' next-symbol distributions for them to share a causal
+	// state; 0 means the default (0.08).
+	Tolerance float64
+	// MinCount drops histories observed fewer times (their estimated
+	// distributions are noise); 0 means the default (5).
+	MinCount int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxHistory == 0 {
+		o.MaxHistory = 2
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.08
+	}
+	if o.MinCount == 0 {
+		o.MinCount = 5
+	}
+	return o
+}
+
+// State is one reconstructed causal state.
+type State struct {
+	// Histories are the length-L pasts grouped into this state.
+	Histories []string
+	// Next is the pooled next-symbol distribution.
+	Next []float64
+	// Weight is the stationary probability of the state (fraction of
+	// observed history occurrences).
+	Weight float64
+}
+
+// Machine is a reconstructed ε-machine approximation.
+type Machine struct {
+	Alphabet int
+	L        int
+	States   []State
+}
+
+// StatisticalComplexity returns C_μ = H(S) in bits.
+func (m *Machine) StatisticalComplexity() float64 {
+	weights := make([]float64, len(m.States))
+	for i, s := range m.States {
+		weights[i] = s.Weight
+	}
+	return infotheory.EntropyFromProbs(weights)
+}
+
+// EntropyRate returns h_μ = Σ_s p(s)·H(next | s) in bits per symbol.
+func (m *Machine) EntropyRate() float64 {
+	var h float64
+	for _, s := range m.States {
+		h += s.Weight * infotheory.EntropyFromProbs(s.Next)
+	}
+	return h
+}
+
+// NumStates returns the number of causal states.
+func (m *Machine) NumStates() int { return len(m.States) }
+
+// Reconstruct builds the machine from one or more symbol sequences. Every
+// symbol must lie in [0, Alphabet).
+func Reconstruct(seqs [][]int, opt Options) (*Machine, error) {
+	opt = opt.withDefaults()
+	if opt.Alphabet < 1 {
+		return nil, fmt.Errorf("statcomplex: Alphabet must be ≥ 1")
+	}
+	// Count next-symbol occurrences per history.
+	type hist struct {
+		counts []int
+		total  int
+	}
+	table := map[string]*hist{}
+	L := opt.MaxHistory
+	for si, seq := range seqs {
+		for _, s := range seq {
+			if s < 0 || s >= opt.Alphabet {
+				return nil, fmt.Errorf("statcomplex: sequence %d contains symbol %d outside [0,%d)", si, s, opt.Alphabet)
+			}
+		}
+		for t := L; t < len(seq); t++ {
+			key := encode(seq[t-L : t])
+			h := table[key]
+			if h == nil {
+				h = &hist{counts: make([]int, opt.Alphabet)}
+				table[key] = h
+			}
+			h.counts[seq[t]]++
+			h.total++
+		}
+	}
+	// Drop under-observed histories.
+	keys := make([]string, 0, len(table))
+	grandTotal := 0
+	for k, h := range table {
+		if h.total >= opt.MinCount {
+			keys = append(keys, k)
+			grandTotal += h.total
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("statcomplex: no history of length %d observed at least %d times", L, opt.MinCount)
+	}
+	sort.Strings(keys) // deterministic merge order
+
+	// Greedy merge: each history joins the first existing state whose
+	// pooled distribution is within tolerance (total variation), else
+	// founds a new state.
+	m := &Machine{Alphabet: opt.Alphabet, L: L}
+	type protoState struct {
+		histories []string
+		counts    []int
+		total     int
+	}
+	var protos []*protoState
+	for _, k := range keys {
+		h := table[k]
+		placed := false
+		for _, p := range protos {
+			if totalVariation(h.counts, h.total, p.counts, p.total) <= opt.Tolerance {
+				p.histories = append(p.histories, k)
+				for a, c := range h.counts {
+					p.counts[a] += c
+				}
+				p.total += h.total
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			protos = append(protos, &protoState{
+				histories: []string{k},
+				counts:    append([]int(nil), h.counts...),
+				total:     h.total,
+			})
+		}
+	}
+	for _, p := range protos {
+		next := make([]float64, opt.Alphabet)
+		for a, c := range p.counts {
+			next[a] = float64(c) / float64(p.total)
+		}
+		m.States = append(m.States, State{
+			Histories: p.histories,
+			Next:      next,
+			Weight:    float64(p.total) / float64(grandTotal),
+		})
+	}
+	return m, nil
+}
+
+func encode(symbols []int) string {
+	buf := make([]byte, len(symbols))
+	for i, s := range symbols {
+		buf[i] = byte(s)
+	}
+	return string(buf)
+}
+
+// totalVariation computes ½·Σ|p−q| between two count vectors.
+func totalVariation(ca []int, na int, cb []int, nb int) float64 {
+	var tv float64
+	for i := range ca {
+		pa := float64(ca[i]) / float64(na)
+		pb := float64(cb[i]) / float64(nb)
+		tv += math.Abs(pa - pb)
+	}
+	return tv / 2
+}
+
+// SymbolizeDisplacements converts a particle trajectory into a symbol
+// sequence by quantising each step displacement into `sectors` angular
+// sectors, with one extra symbol (value `sectors`) for near-zero
+// displacements below minStep. The alphabet size is therefore sectors+1.
+// This is the standard coarse-graining used to feed continuous particle
+// dynamics into discrete ε-machine reconstruction.
+func SymbolizeDisplacements(traj []vec.Vec2, sectors int, minStep float64) []int {
+	if sectors < 1 {
+		panic("statcomplex: need at least one sector")
+	}
+	if len(traj) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(traj)-1)
+	for t := 1; t < len(traj); t++ {
+		d := traj[t].Sub(traj[t-1])
+		if d.Norm() < minStep {
+			out = append(out, sectors)
+			continue
+		}
+		angle := d.Angle() // (−π, π]
+		frac := (angle + math.Pi) / (2 * math.Pi)
+		s := int(frac * float64(sectors))
+		if s >= sectors {
+			s = sectors - 1
+		}
+		out = append(out, s)
+	}
+	return out
+}

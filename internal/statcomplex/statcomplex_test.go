@@ -1,0 +1,184 @@
+package statcomplex
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestIIDProcessHasOneState(t *testing.T) {
+	// A fair i.i.d. binary process: every history predicts the same
+	// next-symbol distribution, so there is exactly one causal state and
+	// C_μ = 0, h_μ = 1 bit.
+	r := rand.New(rand.NewPCG(1, 2))
+	seq := make([]int, 20000)
+	for i := range seq {
+		seq[i] = r.IntN(2)
+	}
+	m, err := Reconstruct([][]int{seq}, Options{Alphabet: 2, MaxHistory: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 1 {
+		t.Fatalf("i.i.d. process reconstructed %d states, want 1", m.NumStates())
+	}
+	if c := m.StatisticalComplexity(); c != 0 {
+		t.Errorf("C = %v, want 0", c)
+	}
+	if h := m.EntropyRate(); math.Abs(h-1) > 0.02 {
+		t.Errorf("h = %v, want 1", h)
+	}
+}
+
+func TestBiasedCoinStillOneState(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	seq := make([]int, 20000)
+	for i := range seq {
+		if r.Float64() < 0.8 {
+			seq[i] = 1
+		}
+	}
+	m, err := Reconstruct([][]int{seq}, Options{Alphabet: 2, MaxHistory: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 1 {
+		t.Fatalf("biased coin reconstructed %d states, want 1", m.NumStates())
+	}
+	// h = H(0.8) ≈ 0.7219 bits.
+	want := -(0.8*math.Log2(0.8) + 0.2*math.Log2(0.2))
+	if h := m.EntropyRate(); math.Abs(h-want) > 0.03 {
+		t.Errorf("h = %v, want %v", h, want)
+	}
+}
+
+func TestPeriodTwoProcess(t *testing.T) {
+	// 0101… has two causal states (phase), each deterministic:
+	// C = 1 bit, h = 0.
+	seq := make([]int, 4000)
+	for i := range seq {
+		seq[i] = i % 2
+	}
+	m, err := Reconstruct([][]int{seq}, Options{Alphabet: 2, MaxHistory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("period-2 process reconstructed %d states, want 2", m.NumStates())
+	}
+	if c := m.StatisticalComplexity(); math.Abs(c-1) > 0.01 {
+		t.Errorf("C = %v, want 1", c)
+	}
+	if h := m.EntropyRate(); h > 0.01 {
+		t.Errorf("h = %v, want 0", h)
+	}
+}
+
+func TestGoldenMeanProcess(t *testing.T) {
+	// Golden-mean process: no two consecutive 1s; after a 0 emit 1 with
+	// probability ½, after a 1 always emit 0. Two causal states with
+	// stationary weights (2/3, 1/3): C = H(1/3) ≈ 0.9183 bits,
+	// h = (2/3)·1 ≈ 0.6667 bits.
+	r := rand.New(rand.NewPCG(5, 6))
+	seq := make([]int, 40000)
+	prev := 0
+	for i := range seq {
+		if prev == 1 {
+			seq[i] = 0
+		} else if r.Float64() < 0.5 {
+			seq[i] = 1
+		}
+		prev = seq[i]
+	}
+	m, err := Reconstruct([][]int{seq}, Options{Alphabet: 2, MaxHistory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("golden mean reconstructed %d states, want 2", m.NumStates())
+	}
+	wantC := -(2.0/3)*math.Log2(2.0/3) - (1.0/3)*math.Log2(1.0/3)
+	if c := m.StatisticalComplexity(); math.Abs(c-wantC) > 0.03 {
+		t.Errorf("C = %v, want %v", c, wantC)
+	}
+	if h := m.EntropyRate(); math.Abs(h-2.0/3) > 0.03 {
+		t.Errorf("h = %v, want 2/3", h)
+	}
+}
+
+func TestReconstructPoolsMultipleSequences(t *testing.T) {
+	// Two halves of a period-2 process, split across sequences with the
+	// same phase structure, must reconstruct the same machine.
+	a := make([]int, 2000)
+	b := make([]int, 2000)
+	for i := range a {
+		a[i] = i % 2
+		b[i] = (i + 1) % 2
+	}
+	m, err := Reconstruct([][]int{a, b}, Options{Alphabet: 2, MaxHistory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("pooled reconstruction found %d states", m.NumStates())
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	if _, err := Reconstruct([][]int{{0, 1}}, Options{Alphabet: 0}); err == nil {
+		t.Error("alphabet 0 accepted")
+	}
+	if _, err := Reconstruct([][]int{{0, 5}}, Options{Alphabet: 2}); err == nil {
+		t.Error("out-of-alphabet symbol accepted")
+	}
+	if _, err := Reconstruct([][]int{{0, 1, 0}}, Options{Alphabet: 2, MaxHistory: 3}); err == nil {
+		t.Error("too-short sequence accepted")
+	}
+}
+
+func TestSymbolizeDisplacements(t *testing.T) {
+	traj := []vec.Vec2{
+		{X: 0, Y: 0},
+		{X: 1, Y: 0},     // east
+		{X: 1, Y: 1},     // north
+		{X: 0, Y: 1},     // west
+		{X: 0, Y: 0},     // south
+		{X: 0, Y: 0.001}, // below minStep → stall symbol
+	}
+	syms := SymbolizeDisplacements(traj, 4, 0.01)
+	if len(syms) != 5 {
+		t.Fatalf("got %d symbols", len(syms))
+	}
+	// 4 sectors over (−π, π]: east ≈ 0.5 fraction → sector 2; north →
+	// sector 3; west → sector 0 or 3 boundary (angle π → frac 1 →
+	// clamped 3); south → sector 0 or 1. Assert distinctness of the four
+	// cardinal moves and the stall code.
+	if syms[4] != 4 {
+		t.Errorf("stall symbol = %d, want 4", syms[4])
+	}
+	if syms[0] == syms[1] || syms[1] == syms[2] && syms[0] == syms[2] {
+		t.Errorf("cardinal directions not distinguished: %v", syms)
+	}
+	for _, s := range syms[:4] {
+		if s < 0 || s > 3 {
+			t.Errorf("direction symbol %d out of range", s)
+		}
+	}
+}
+
+func TestSymbolizeShortTrajectory(t *testing.T) {
+	if got := SymbolizeDisplacements([]vec.Vec2{{X: 1, Y: 1}}, 4, 0.1); got != nil {
+		t.Fatalf("1-point trajectory gave %v", got)
+	}
+}
+
+func TestSymbolizePanicsOnBadSectors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("sectors=0 should panic")
+		}
+	}()
+	SymbolizeDisplacements(make([]vec.Vec2, 3), 0, 0.1)
+}

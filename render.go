@@ -1,0 +1,69 @@
+package sops
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/vec"
+)
+
+// Rendering conveniences re-exported for example programs and downstream
+// tools (stdlib-only ASCII/SVG output; see internal/plot).
+type (
+	// Chart is a multi-series ASCII line chart.
+	Chart = plot.Chart
+)
+
+var (
+	// SVGScatter renders a typed particle configuration as SVG.
+	SVGScatter = plot.SVGScatter
+	// SVGLines renders named series as an SVG line chart.
+	SVGLines = plot.SVGLines
+	// WriteSeriesCSV / ReadSeriesCSV exchange series data as CSV.
+	WriteSeriesCSV = plot.WriteSeriesCSV
+	ReadSeriesCSV  = plot.ReadSeriesCSV
+)
+
+// ASCIIScatter renders a typed particle configuration on a w×h character
+// grid, digits being particle types — the terminal counterpart of the
+// paper's configuration figures.
+func ASCIIScatter(pos []Vec2, types []int, w, h int) string {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	min, max := vec.BoundingBox(pos)
+	spanX := math.Max(max.X-min.X, 1e-9)
+	spanY := math.Max(max.Y-min.Y, 1e-9)
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for i, p := range pos {
+		c := int((p.X - min.X) / spanX * float64(w-1))
+		r := int((max.Y - p.Y) / spanY * float64(h-1))
+		ty := 0
+		if types != nil {
+			ty = types[i] % 10
+		}
+		grid[r][c] = byte('0' + ty)
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FloatTimes converts recorded step indices to float64 x-values for charts.
+func FloatTimes(times []int) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		out[i] = float64(t)
+	}
+	return out
+}

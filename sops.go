@@ -1,0 +1,228 @@
+// Package sops (Self-Organizing Particle Systems) is the public facade of
+// this reproduction of Harder & Polani, "Self-organizing particle systems",
+// Advances in Complex Systems 16, 1250089 (2012).
+//
+// It re-exports the building blocks a user needs to (1) simulate typed
+// particle collectives with differential-adhesion interactions (Eq. 6 of
+// the paper), (2) factor the shape symmetries out of simulation ensembles
+// (Sec. 5.2), and (3) quantify self-organization as the increase of the
+// multi-information of the aligned observer variables (Secs. 3.1, 5.3),
+// plus the experiment drivers that regenerate every figure of the paper's
+// evaluation.
+//
+// # Quickstart
+//
+//	cfg := sops.SimConfig{
+//		N:      30,
+//		Force:  sops.MustF1(sops.ConstantMatrix(3, 1), sops.MustMatrix([][]float64{
+//			{1.5, 3.0, 2.5}, {3.0, 1.5, 2.0}, {2.5, 2.0, 1.8},
+//		})),
+//		Cutoff: 5,
+//	}
+//	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
+//		Name:     "demo",
+//		Ensemble: sops.EnsembleConfig{Sim: cfg, M: 64, Steps: 150, RecordEvery: 15, Seed: 1},
+//	})
+//	// res.MI is the multi-information (bits) over res.Times; an
+//	// increasing curve is self-organization in the paper's sense.
+//
+// See the examples/ directory for complete programs.
+package sops
+
+import (
+	"repro/internal/align"
+	"repro/internal/experiment"
+	"repro/internal/forces"
+	"repro/internal/infodynamics"
+	"repro/internal/infotheory"
+	"repro/internal/observer"
+	"repro/internal/rngx"
+	"repro/internal/sim"
+	"repro/internal/statcomplex"
+	"repro/internal/vec"
+)
+
+// Geometry.
+type (
+	// Vec2 is a point or displacement in the plane.
+	Vec2 = vec.Vec2
+	// Rigid is a direct planar isometry (rotation + translation).
+	Rigid = align.Rigid
+)
+
+// Interactions (Sec. 4.1).
+type (
+	// Matrix is a symmetric per-type-pair parameter matrix.
+	Matrix = forces.Matrix
+	// Scaling is a force-scaling function F_αβ(x).
+	Scaling = forces.Scaling
+	// F1 is Eq. (7): k_αβ(1 − r_αβ/x).
+	F1 = forces.F1
+	// F2 is Eq. (8): the Gaussian-difference interaction.
+	F2 = forces.F2
+)
+
+// Simulation (Secs. 4.1, 5.1).
+type (
+	// SimConfig specifies one simulation run.
+	SimConfig = sim.Config
+	// System is a running simulation.
+	System = sim.System
+	// EnsembleConfig specifies an m-sample experiment ensemble.
+	EnsembleConfig = sim.EnsembleConfig
+	// Ensemble is a recorded ensemble.
+	Ensemble = sim.Ensemble
+)
+
+// Measurement (Secs. 3.1, 5.2, 5.3).
+type (
+	// Pipeline is a full experiment: simulate → align → estimate.
+	Pipeline = experiment.Pipeline
+	// Result is a pipeline outcome (MI time series etc.).
+	Result = experiment.Result
+	// Scale bundles ensemble-size presets.
+	Scale = experiment.Scale
+	// Dataset holds observer-variable samples.
+	Dataset = infotheory.Dataset
+	// Decomposition is the Eq. (5) split of multi-information.
+	Decomposition = infotheory.Decomposition
+	// ObserverConfig controls alignment and k-means reduction.
+	ObserverConfig = observer.Config
+	// Source is a deterministic random source.
+	Source = rngx.Source
+)
+
+// Estimator kinds accepted by Pipeline.Estimator.
+const (
+	EstKSGPaper = experiment.EstKSGPaper
+	EstKSG1     = experiment.EstKSG1
+	EstKSG2     = experiment.EstKSG2
+	EstKernel   = experiment.EstKernel
+	EstBinned   = experiment.EstBinned
+)
+
+// Matrix and force constructors.
+var (
+	// NewMatrix returns a zero symmetric l×l matrix.
+	NewMatrix = forces.NewMatrix
+	// ConstantMatrix returns a symmetric matrix filled with c.
+	ConstantMatrix = forces.ConstantMatrix
+	// MatrixFromRows builds and validates a symmetric matrix.
+	MatrixFromRows = forces.MatrixFromRows
+	// MustMatrix is MatrixFromRows that panics on error.
+	MustMatrix = forces.MustMatrix
+	// NewF1 / MustF1 build Eq. (7) interactions.
+	NewF1  = forces.NewF1
+	MustF1 = forces.MustF1
+	// NewF2 / MustF2 build Eq. (8) interactions.
+	NewF2  = forces.NewF2
+	MustF2 = forces.MustF2
+	// RandomF1 / RandomF2 draw the random interactions of the sweep
+	// experiments.
+	RandomF1 = forces.RandomF1
+	RandomF2 = forces.RandomF2
+	// RandomMatrixIn draws a symmetric matrix with entries uniform in
+	// [lo, hi).
+	RandomMatrixIn = forces.RandomMatrix
+)
+
+// Simulation helpers.
+var (
+	// NewSystem creates a simulation with disc-uniform initial positions.
+	NewSystem = sim.New
+	// NewSystemFromPositions creates a simulation from explicit positions.
+	NewSystemFromPositions = sim.NewFromPositions
+	// RunEnsemble executes an m-sample ensemble in parallel.
+	RunEnsemble = sim.RunEnsemble
+	// TypesRoundRobin / TypesBlocks assign particle types.
+	TypesRoundRobin = sim.TypesRoundRobin
+	TypesBlocks     = sim.TypesBlocks
+	// NewRNG returns a deterministic random source.
+	NewRNG = rngx.New
+	// SplitRNG returns an independent sub-stream of a seed.
+	SplitRNG = rngx.Split
+)
+
+// Estimators (all return bits).
+var (
+	// NewInfoDataset allocates an observer-variable dataset with the
+	// given per-variable dimensions.
+	NewInfoDataset = infotheory.NewDataset
+	// MultiInfoKSG is the paper's estimator (Eqs. 18–20).
+	MultiInfoKSG = infotheory.MultiInfoKSG
+	// MultiInfoKernel is the Gaussian-KDE baseline.
+	MultiInfoKernel = infotheory.MultiInfoKernel
+	// MultiInfoBinned is the shrinkage-binning baseline.
+	MultiInfoBinned = infotheory.MultiInfoBinned
+	// Decompose splits multi-information over observer groups (Eq. 5).
+	Decompose = infotheory.Decompose
+	// GroupsByLabel groups observer variables by label (type).
+	GroupsByLabel = infotheory.GroupsByLabel
+)
+
+// Scales.
+var (
+	// PaperScale reproduces the paper's sample sizes.
+	PaperScale = experiment.PaperScale
+	// QuickScale preserves curve shapes at laptop cost.
+	QuickScale = experiment.QuickScale
+	// TestScale is for tests and benchmarks.
+	TestScale = experiment.TestScale
+)
+
+// Information dynamics over trajectories (the Sec. 7.3 extension).
+type (
+	// Trajectory is one particle's positions over recorded steps.
+	Trajectory = infodynamics.Trajectory
+	// PairTransfer reports bidirectional transfer entropy for a pair.
+	PairTransfer = infodynamics.PairTransfer
+	// EntropyProfile is the joint/marginal entropy snapshot of one step.
+	EntropyProfile = infotheory.EntropyProfile
+)
+
+var (
+	// TransferEntropy estimates TE(source→target) from trajectories.
+	TransferEntropy = infodynamics.TransferEntropy
+	// ActiveStorage estimates the active information storage of a
+	// particle's trajectory.
+	ActiveStorage = infodynamics.ActiveStorage
+	// ConditionalMutualInfo is the underlying Frenzel–Pompe estimator.
+	ConditionalMutualInfo = infodynamics.ConditionalMutualInfo
+	// ParticleTrajectories extracts one particle's trajectories from an
+	// ensemble.
+	ParticleTrajectories = infodynamics.ParticleTrajectories
+	// MeasurePairTransfer computes bidirectional TE for a particle pair.
+	MeasurePairTransfer = infodynamics.MeasurePairTransfer
+	// DifferentialEntropyKL is the Kozachenko–Leonenko entropy
+	// estimator; TrackEntropies on a Pipeline records its profile.
+	DifferentialEntropyKL = infotheory.DifferentialEntropyKL
+)
+
+// Statistical complexity (the Sec. 3 alternative measure) and persistence.
+type (
+	// EpsilonMachine is a reconstructed causal-state machine.
+	EpsilonMachine = statcomplex.Machine
+	// ComplexityPoint is one window of a symbolic-complexity profile.
+	ComplexityPoint = experiment.ComplexityPoint
+	// StatComplexOptions configures ε-machine reconstruction.
+	StatComplexOptions = statcomplex.Options
+)
+
+var (
+	// ReconstructMachine builds an ε-machine from symbol sequences.
+	ReconstructMachine = statcomplex.Reconstruct
+	// SymbolizeDisplacements turns a trajectory into motion symbols.
+	SymbolizeDisplacements = statcomplex.SymbolizeDisplacements
+	// SymbolicComplexityProfile computes windowed statistical
+	// complexity over an ensemble (the Sec. 7.1 diagnostic).
+	SymbolicComplexityProfile = experiment.SymbolicComplexityProfile
+	// SaveEnsemble / LoadEnsemble persist simulation output to disk.
+	SaveEnsemble = sim.SaveEnsemble
+	LoadEnsemble = sim.LoadEnsemble
+)
+
+// MeasureSelfOrganization runs a full pipeline: simulate the ensemble,
+// factor out the shape symmetries, and estimate the multi-information of
+// the observer variables at every recorded step. Self-organization in the
+// paper's sense (Sec. 3.1) is an increasing Result.MI curve.
+func MeasureSelfOrganization(p Pipeline) (*Result, error) { return p.Run() }
