@@ -334,6 +334,89 @@ func BenchmarkForceEvalF2(b *testing.B) {
 	_ = sink
 }
 
+// spreadSystem builds a system whose spread keeps the dense-grid strategy
+// selected (extent ≫ 3·rc), the simulator's neighbour-search hot path.
+func spreadSystem(b *testing.B, n, workers int) *sim.System {
+	b.Helper()
+	cfg := sim.Config{
+		N:       n,
+		Force:   forces.MustF1(forces.ConstantMatrix(3, 1), forces.ConstantMatrix(3, 2)),
+		Cutoff:  3,
+		Workers: workers,
+	}
+	rng := rngx.New(17)
+	pos := make([]vec.Vec2, n)
+	for i := range pos {
+		x, y := rng.UniformDisc(math.Sqrt(float64(n)) * 2) // ~constant density
+		pos[i] = vec.Vec2{X: x, Y: y}
+	}
+	sys, err := sim.NewFromPositions(cfg, pos, rngx.New(18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkStep measures the steady-state integrator step on the dense-grid
+// path. With ReportAllocs it also asserts the headline property of the
+// persistent grid: after warm-up, a step allocates nothing (serial and
+// Workers=1 modes; Workers>1 pays a small per-step goroutine fan-out).
+func BenchmarkStep(b *testing.B) {
+	for _, n := range []int{100, 300, 1000} {
+		for _, workers := range []int{0, 1, 4} {
+			b.Run("n="+itoa(n)+"/workers="+itoa(workers), func(b *testing.B) {
+				sys := spreadSystem(b, n, workers)
+				sys.Run(2) // warm up grid and scratch buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGridRebuild compares the seed's per-step strategy (build a fresh
+// map-backed Grid every call) against the persistent DenseGrid's recycled
+// counting-sort Rebuild, including one query sweep each, at the paper's
+// collective sizes.
+func BenchmarkGridRebuild(b *testing.B) {
+	const radius = 3.0
+	for _, n := range []int{100, 1000} {
+		rng := rngx.New(19)
+		pts := make([]vec.Vec2, n)
+		for i := range pts {
+			x, y := rng.UniformDisc(math.Sqrt(float64(n)) * 2)
+			pts[i] = vec.Vec2{X: x, Y: y}
+		}
+		b.Run("map/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			count := 0
+			for i := 0; i < b.N; i++ {
+				g := spatial.NewGrid(pts, radius)
+				for p := range pts {
+					g.ForNeighbors(p, radius, func(int) { count++ })
+				}
+			}
+		})
+		b.Run("dense/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			g := spatial.NewDenseGrid(radius)
+			buf := make([]int32, 0, 64)
+			b.ResetTimer()
+			count := 0
+			for i := 0; i < b.N; i++ {
+				g.Rebuild(pts)
+				for p := range pts {
+					buf = g.AppendNeighbors(buf[:0], p, radius)
+					count += len(buf)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimStep(b *testing.B) {
 	for _, n := range []int{20, 50, 120} {
 		b.Run("n="+itoa(n), func(b *testing.B) {

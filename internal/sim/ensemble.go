@@ -30,7 +30,15 @@ type EnsembleConfig struct {
 	// deterministic sub-stream Split(Seed, i), so results do not depend
 	// on scheduling.
 	Seed uint64
-	// Workers bounds the simulation parallelism; 0 means GOMAXPROCS.
+	// Workers bounds the sample-level parallelism (independent runs
+	// executed concurrently); 0 means GOMAXPROCS. It composes with the
+	// per-step force parallelism of Sim.Workers — samples are
+	// embarrassingly parallel, so prefer this axis and leave Sim.Workers
+	// at its default unless cores outnumber samples. Results never depend
+	// on this count, nor on the value of Sim.Workers within a mode; note
+	// however that Sim.Workers 0 (serial pair sweep) and ≥ 1 (sharded)
+	// accumulate forces in different orders, so switching between those
+	// two modes changes trajectories at rounding level.
 	Workers int
 }
 

@@ -69,6 +69,16 @@ type Config struct {
 	// EquilibriumWindow is the number of consecutive sub-threshold steps
 	// required.
 	EquilibriumWindow int
+	// Workers selects the force-accumulation mode. 0 (the default) is the
+	// serial unordered-pair sweep, each interaction evaluated once.
+	// Workers ≥ 1 switches to per-particle sharding: every particle's
+	// force is accumulated independently over its full neighbourhood in
+	// canonical orientation, so the result is bit-identical for every
+	// worker count — Workers=1 runs the shards inline, Workers=k fans
+	// them out over k goroutines. The sharded mode costs two force
+	// evaluations per pair but parallelises with no synchronisation on
+	// the force array.
+	Workers int
 }
 
 // WithDefaults returns a copy of c with unset (zero) numeric fields replaced
@@ -130,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.NoiseVariance < 0 {
 		return errors.New("sim: NoiseVariance must be non-negative after WithDefaults")
+	}
+	if c.Workers < 0 {
+		return errors.New("sim: Workers must be non-negative")
 	}
 	return nil
 }
@@ -193,6 +206,12 @@ type System struct {
 	step     int
 	eqStreak int
 	lastNet  float64 // Σ_i ‖force_i‖ of the most recent step
+
+	// Neighbour-search scratch state, recycled across steps so the
+	// steady-state grid path performs zero heap allocations.
+	grid *spatial.DenseGrid // persistent cell list, rebuilt in place
+	nbr  []int32            // serial-path neighbour buffer
+	wnbr [][]int32          // per-worker neighbour buffers (sharded mode)
 }
 
 // New creates a system with particles placed uniformly at random on the
@@ -249,8 +268,12 @@ func (s *System) Config() Config { return s.cfg }
 // relative to the collective's extent a cell-list grid gives O(n) total
 // work; otherwise (rc = ∞ or rc spanning the whole collective) an O(n²)
 // pair sweep is cheaper in practice. The choice is re-made every step from
-// the current bounding box; both paths produce identical forces (the grid
-// is exact), which the tests verify.
+// the current bounding box. All paths are exact: the two grid backends
+// visit neighbours in the same order and so are interchangeable
+// bit-for-bit, while the brute sweep accumulates in a different order and
+// agrees with them up to floating-point rounding (the tests verify
+// agreement to 1e-9). The grid is persistent and rebuilt in place, so in
+// steady state the grid path allocates nothing.
 func (s *System) Step() {
 	s.computeForces()
 	dt := s.cfg.Dt
@@ -280,25 +303,68 @@ func (s *System) noiseAt(i int) vec.Vec2 {
 	}
 }
 
-// useGrid decides the neighbour strategy for the current configuration.
-func (s *System) useGrid() bool {
+// nbrStrategy is the per-step neighbour-search choice.
+type nbrStrategy uint8
+
+const (
+	nbrBrute  nbrStrategy = iota // O(n²) pair sweep
+	nbrDense                     // flat CSR cell list, allocation-free rebuild
+	nbrSparse                    // map-backed cell list, O(n) memory at any spread
+)
+
+// Dense-grid memory is O(cells); beyond this many cells per particle the
+// sparse map grid wins.
+const (
+	maxDenseCellsPerPoint = 64
+	maxDenseCellsFloor    = 4096
+)
+
+// strategy decides the neighbour search for the current frame and returns
+// the frame's bounding box alongside, so the dense rebuild can reuse it
+// instead of scanning the positions a second time.
+func (s *System) strategy() (strat nbrStrategy, min, max vec.Vec2) {
 	rc := s.cfg.Cutoff
 	if math.IsInf(rc, 1) {
-		return false
+		return nbrBrute, min, max
 	}
-	min, max := vec.BoundingBox(s.pos)
-	extent := math.Max(max.X-min.X, max.Y-min.Y)
-	// The grid pays off when the 3×3 cell window covers clearly less
-	// than the whole collective.
-	return extent > 3*rc && len(s.pos) >= 32
+	min, max = vec.BoundingBox(s.pos)
+	ex, ey := max.X-min.X, max.Y-min.Y
+	// A grid pays off when the 3×3 cell window covers clearly less than
+	// the whole collective.
+	if !(math.Max(ex, ey) > 3*rc) || len(s.pos) < 32 {
+		return nbrBrute, min, max
+	}
+	if (ex/rc+1)*(ey/rc+1) > float64(maxDenseCellsPerPoint*len(s.pos)+maxDenseCellsFloor) {
+		return nbrSparse, min, max
+	}
+	return nbrDense, min, max
+}
+
+// nbrSource is the common query surface of the two grid backends.
+type nbrSource interface {
+	AppendNeighbors(dst []int32, i int, radius float64) []int32
 }
 
 func (s *System) computeForces() {
 	for i := range s.force {
 		s.force[i] = vec.Vec2{}
 	}
-	if s.useGrid() {
-		s.forcesGrid()
+	var src nbrSource // nil selects the O(n²) sweep
+	strat, min, max := s.strategy()
+	switch strat {
+	case nbrDense:
+		if s.grid == nil {
+			s.grid = spatial.NewDenseGrid(s.cfg.Cutoff)
+		}
+		s.grid.RebuildBounded(s.pos, min, max)
+		src = s.grid
+	case nbrSparse:
+		src = spatial.NewGrid(s.pos, s.cfg.Cutoff)
+	}
+	if s.cfg.Workers > 0 {
+		s.forcesSharded(src)
+	} else if src != nil {
+		s.forcesScan(src)
 	} else {
 		s.forcesBrute()
 	}
@@ -344,14 +410,18 @@ func (s *System) forcesBrute() {
 	}
 }
 
-func (s *System) forcesGrid() {
-	g := spatial.NewGrid(s.pos, s.cfg.Cutoff)
+// forcesScan is the serial grid path: each unordered pair is evaluated once,
+// discovered from the lower-index particle's neighbour list. The scratch
+// buffer s.nbr is recycled across particles and steps.
+func (s *System) forcesScan(src nbrSource) {
+	rc := s.cfg.Cutoff
 	for i := range s.pos {
-		g.ForNeighbors(i, s.cfg.Cutoff, func(j int) {
-			if j > i { // each unordered pair once
-				s.pairForce(i, j)
+		s.nbr = src.AppendNeighbors(s.nbr[:0], i, rc)
+		for _, j := range s.nbr {
+			if int(j) > i { // each unordered pair once
+				s.pairForce(i, int(j))
 			}
-		})
+		}
 	}
 }
 

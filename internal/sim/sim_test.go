@@ -173,10 +173,10 @@ func TestGridAndBruteForcesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sys.useGrid() {
-		t.Fatal("test setup: expected the grid strategy to be selected")
+	if strat, _, _ := sys.strategy(); strat != nbrDense {
+		t.Fatal("test setup: expected the dense-grid strategy to be selected")
 	}
-	sys.forcesGrid()
+	sys.computeForces() // dense-grid path
 	fromGrid := append([]vec.Vec2(nil), sys.force...)
 	for i := range sys.force {
 		sys.force[i] = vec.Vec2{}

@@ -1,0 +1,212 @@
+package spatial
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// DenseGrid is a flat-array uniform cell list built by counting sort
+// (CSR layout: idx holds point indices grouped by cell, start[c]..start[c+1]
+// delimits cell c). Unlike Grid it is designed for the simulator's
+// step-rebuild access pattern: Rebuild recycles all backing arrays, so in
+// steady state rebuilding over a new frame performs zero heap allocations.
+//
+// DenseGrid covers the bounding box of the point set with nx×ny cells and
+// therefore uses O(cells + n) memory; for point sets whose bounding box is
+// huge relative to the population (cells ≫ n) the sparse map-backed Grid is
+// the better choice. Cell membership uses the same floor(x/cellSize) keying
+// as Grid, and queries scan the same 3×3 (or wider) window in the same
+// order with point indices ascending within each cell, so DenseGrid visits
+// neighbours in exactly the same deterministic order as Grid — simulations
+// are bit-identical whichever backend serves the query.
+type DenseGrid struct {
+	cellSize float64
+	points   []vec.Vec2 // aliased from the last Rebuild; not owned
+
+	// Cell-space bounding box of the last Rebuild.
+	minCX, minCY int64
+	nx, ny       int
+
+	start  []int32 // CSR cell offsets, len nx·ny+1
+	idx    []int32 // point indices grouped by cell, len n
+	cellOf []int32 // scratch: linear cell id per point, len n
+}
+
+// NewDenseGrid returns an empty dense grid with the given cell size; call
+// Rebuild to populate it. A cell size equal to the query radius gives the
+// classic 3×3-cell neighbourhood scan. cellSize must be positive and finite.
+func NewDenseGrid(cellSize float64) *DenseGrid {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		panic("spatial: cell size must be positive and finite")
+	}
+	return &DenseGrid{cellSize: cellSize}
+}
+
+// NewDenseGridFrom builds a dense grid over points, equivalent to
+// NewDenseGrid followed by Rebuild.
+func NewDenseGridFrom(points []vec.Vec2, cellSize float64) *DenseGrid {
+	g := NewDenseGrid(cellSize)
+	g.Rebuild(points)
+	return g
+}
+
+// CellSize returns the grid's cell size.
+func (g *DenseGrid) CellSize() float64 { return g.cellSize }
+
+// Len returns the number of points indexed by the last Rebuild.
+func (g *DenseGrid) Len() int { return len(g.points) }
+
+// Cells returns the number of cells allocated by the last Rebuild.
+func (g *DenseGrid) Cells() int { return g.nx * g.ny }
+
+// grow returns buf resliced to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n, n+n/2)
+	}
+	return buf[:n]
+}
+
+// Rebuild re-indexes the grid over a new point set, recycling all backing
+// arrays. The slice is aliased, not copied: the caller must not move points
+// between Rebuild and subsequent queries. Growing, shrinking and identical
+// point sets are all fine — the property tests check that a recycled grid
+// answers exactly like a freshly built one.
+func (g *DenseGrid) Rebuild(points []vec.Vec2) {
+	min, max := vec.BoundingBox(points)
+	g.RebuildBounded(points, min, max)
+}
+
+// RebuildBounded is Rebuild with a precomputed bounding box of the points,
+// saving the extra O(n) scan when the caller already has one (the
+// simulator's strategy choice computes it every step anyway). min and max
+// must satisfy min.X ≤ p.X ≤ max.X, min.Y ≤ p.Y ≤ max.Y for every point.
+func (g *DenseGrid) RebuildBounded(points []vec.Vec2, min, max vec.Vec2) {
+	g.points = points
+	n := len(points)
+	g.idx = grow(g.idx, n)
+	g.cellOf = grow(g.cellOf, n)
+	if n == 0 {
+		g.nx, g.ny = 0, 0
+		g.start = grow(g.start, 1)
+		g.start[0] = 0
+		return
+	}
+
+	g.minCX = int64(math.Floor(min.X / g.cellSize))
+	g.minCY = int64(math.Floor(min.Y / g.cellSize))
+	g.nx = int(int64(math.Floor(max.X/g.cellSize))-g.minCX) + 1
+	g.ny = int(int64(math.Floor(max.Y/g.cellSize))-g.minCY) + 1
+	nc := g.nx * g.ny
+
+	g.start = grow(g.start, nc+1)
+	for c := range g.start {
+		g.start[c] = 0
+	}
+	// Counting sort, pass 1: histogram cell occupancy.
+	for i, p := range points {
+		c := int32((int64(math.Floor(p.Y/g.cellSize))-g.minCY)*int64(g.nx) +
+			(int64(math.Floor(p.X/g.cellSize)) - g.minCX))
+		g.cellOf[i] = c
+		g.start[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	// Pass 2: scatter in ascending point order, so indices stay ascending
+	// within each cell (the determinism contract shared with Grid). The
+	// cursor trick advances start[c] to end-of-cell; the shift below
+	// restores the CSR offsets.
+	for i := 0; i < n; i++ {
+		c := g.cellOf[i]
+		g.idx[g.start[c]] = int32(i)
+		g.start[c]++
+	}
+	for c := nc; c > 0; c-- {
+		g.start[c] = g.start[c-1]
+	}
+	g.start[0] = 0
+}
+
+// ForNeighbors calls fn(j) for every point j ≠ i with ‖p_j − p_i‖ ≤ radius,
+// in the same deterministic order as Grid.ForNeighbors.
+func (g *DenseGrid) ForNeighbors(i int, radius float64, fn func(j int)) {
+	p := g.points[i]
+	r2 := radius * radius
+	span := int64(math.Ceil(radius / g.cellSize))
+	cx := int64(math.Floor(p.X/g.cellSize)) - g.minCX
+	cy := int64(math.Floor(p.Y/g.cellSize)) - g.minCY
+	for dx := -span; dx <= span; dx++ {
+		x := cx + dx
+		if x < 0 || x >= int64(g.nx) {
+			continue
+		}
+		for dy := -span; dy <= span; dy++ {
+			y := cy + dy
+			if y < 0 || y >= int64(g.ny) {
+				continue
+			}
+			c := y*int64(g.nx) + x
+			for _, j := range g.idx[g.start[c]:g.start[c+1]] {
+				if int(j) == i {
+					continue
+				}
+				if g.points[j].Dist2(p) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}
+
+// AppendNeighbors appends to dst the indices of all points j ≠ i with
+// ‖p_j − p_i‖ ≤ radius, in the same deterministic order as ForNeighbors,
+// and returns the extended slice. Passing a recycled dst[:0] makes the
+// query allocation-free once the buffer has grown to the steady-state
+// neighbour count — this is the simulator's hot-path entry point.
+func (g *DenseGrid) AppendNeighbors(dst []int32, i int, radius float64) []int32 {
+	p := g.points[i]
+	r2 := radius * radius
+	span := int64(math.Ceil(radius / g.cellSize))
+	cx := int64(math.Floor(p.X/g.cellSize)) - g.minCX
+	cy := int64(math.Floor(p.Y/g.cellSize)) - g.minCY
+	for dx := -span; dx <= span; dx++ {
+		x := cx + dx
+		if x < 0 || x >= int64(g.nx) {
+			continue
+		}
+		for dy := -span; dy <= span; dy++ {
+			y := cy + dy
+			if y < 0 || y >= int64(g.ny) {
+				continue
+			}
+			c := y*int64(g.nx) + x
+			for _, j := range g.idx[g.start[c]:g.start[c+1]] {
+				if int(j) == i {
+					continue
+				}
+				if g.points[j].Dist2(p) <= r2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Neighbors returns the indices of all points within radius of point i,
+// excluding i itself, in deterministic order.
+func (g *DenseGrid) Neighbors(i int, radius float64) []int {
+	var out []int
+	g.ForNeighbors(i, radius, func(j int) { out = append(out, j) })
+	return out
+}
+
+// CountWithin returns the number of points j ≠ i within radius of point i.
+func (g *DenseGrid) CountWithin(i int, radius float64) int {
+	n := 0
+	g.ForNeighbors(i, radius, func(int) { n++ })
+	return n
+}

@@ -1,0 +1,165 @@
+package spatial
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// Property: the dense grid, the map grid and brute force agree on random
+// point sets, radii and cell sizes — and the two grids agree in exact visit
+// order, not just as sets.
+func TestDenseGridMatchesGridAndBruteForce(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + r.IntN(120)
+		pts := randomPoints(r, n, 30)
+		radius := 0.5 + r.Float64()*8
+		cell := 0.3 + r.Float64()*6
+		dense := NewDenseGridFrom(pts, cell)
+		sparse := NewGrid(pts, cell)
+		for i := 0; i < n; i++ {
+			got := dense.Neighbors(i, radius)
+			order := sparse.Neighbors(i, radius)
+			if !equalInts(got, order) {
+				t.Fatalf("trial %d point %d: dense order %v, map order %v (r=%v cell=%v)",
+					trial, i, got, order, radius, cell)
+			}
+			want := sorted(BruteNeighbors(pts, i, radius))
+			if !equalInts(sorted(got), want) {
+				t.Fatalf("trial %d point %d: dense %v, brute %v (r=%v cell=%v)",
+					trial, i, sorted(got), want, radius, cell)
+			}
+		}
+	}
+}
+
+// Property: a recycled grid answers exactly like a freshly built one across
+// growing, shrinking, identical and disjoint point sets.
+func TestDenseGridRebuildReuse(t *testing.T) {
+	r := rand.New(rand.NewPCG(23, 24))
+	g := NewDenseGrid(1.5)
+	sizes := []int{80, 200, 200, 12, 1, 0, 150, 3}
+	for round, n := range sizes {
+		extent := 5 + r.Float64()*60 // varying spread exercises regrowth
+		pts := randomPoints(r, n, extent)
+		g.Rebuild(pts)
+		if g.Len() != n {
+			t.Fatalf("round %d: Len = %d, want %d", round, g.Len(), n)
+		}
+		fresh := NewDenseGridFrom(pts, 1.5)
+		radius := 0.5 + r.Float64()*5
+		for i := 0; i < n; i++ {
+			got := g.Neighbors(i, radius)
+			if !equalInts(got, fresh.Neighbors(i, radius)) {
+				t.Fatalf("round %d point %d: recycled grid diverged from fresh grid", round, i)
+			}
+			if !equalInts(sorted(got), sorted(BruteNeighbors(pts, i, radius))) {
+				t.Fatalf("round %d point %d: recycled grid diverged from brute force", round, i)
+			}
+		}
+	}
+}
+
+// Rebuilding over the identical point set twice must not change any answer
+// (the counting sort is stable and the scratch arrays are fully overwritten).
+func TestDenseGridRebuildIdempotent(t *testing.T) {
+	r := rand.New(rand.NewPCG(25, 26))
+	pts := randomPoints(r, 90, 25)
+	g := NewDenseGridFrom(pts, 2)
+	before := make([][]int, len(pts))
+	for i := range pts {
+		before[i] = g.Neighbors(i, 4)
+	}
+	g.Rebuild(pts)
+	for i := range pts {
+		if !equalInts(before[i], g.Neighbors(i, 4)) {
+			t.Fatalf("point %d: answers changed after identical rebuild", i)
+		}
+	}
+}
+
+// AppendNeighbors must match ForNeighbors order exactly and reuse the
+// caller's buffer, on both grid backends.
+func TestAppendNeighborsMatchesForNeighbors(t *testing.T) {
+	r := rand.New(rand.NewPCG(27, 28))
+	pts := randomPoints(r, 100, 20)
+	const radius = 3.0
+	dense := NewDenseGridFrom(pts, radius)
+	sparse := NewGrid(pts, radius)
+	buf := make([]int32, 0, len(pts))
+	for _, src := range []interface {
+		AppendNeighbors(dst []int32, i int, radius float64) []int32
+		Neighbors(i int, radius float64) []int
+	}{dense, sparse} {
+		for i := range pts {
+			buf = src.AppendNeighbors(buf[:0], i, radius)
+			want := src.Neighbors(i, radius)
+			if len(buf) != len(want) {
+				t.Fatalf("point %d: append %d neighbours, callback %d", i, len(buf), len(want))
+			}
+			for k, j := range want {
+				if int(buf[k]) != j {
+					t.Fatalf("point %d: append order %v, callback order %v", i, buf, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDenseGridSteadyStateRebuildAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewPCG(29, 30))
+	pts := randomPoints(r, 256, 40)
+	g := NewDenseGridFrom(pts, 2)
+	buf := make([]int32, 0, 64)
+	allocs := testing.AllocsPerRun(20, func() {
+		// Jitter in place: same bounding box scale, new cell membership.
+		for i := range pts {
+			pts[i].X += (r.Float64() - 0.5)
+			pts[i].Y += (r.Float64() - 0.5)
+		}
+		g.Rebuild(pts)
+		for i := range pts {
+			buf = g.AppendNeighbors(buf[:0], i, 2)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Rebuild+query allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestDenseGridEdgeCases(t *testing.T) {
+	g := NewDenseGrid(1)
+	g.Rebuild(nil)
+	if g.Len() != 0 || g.Cells() != 0 {
+		t.Fatalf("empty rebuild: Len=%d Cells=%d", g.Len(), g.Cells())
+	}
+	g.Rebuild([]vec.Vec2{{X: 3, Y: -7}})
+	if got := g.Neighbors(0, 5); len(got) != 0 {
+		t.Fatalf("single point has no neighbours, got %v", got)
+	}
+	if g.Cells() != 1 {
+		t.Fatalf("single point should occupy one cell, got %d", g.Cells())
+	}
+	// Points exactly on cell boundaries (negative and positive).
+	pts := []vec.Vec2{{X: 0, Y: 0}, {X: -1, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: -1}, {X: 0, Y: 1}}
+	g.Rebuild(pts)
+	if got := sorted(g.Neighbors(0, 1)); !equalInts(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("boundary-inclusive query: %v", got)
+	}
+}
+
+func TestDenseGridRejectsBadCellSize(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cell size %v should panic", bad)
+				}
+			}()
+			NewDenseGrid(bad)
+		}()
+	}
+}

@@ -1,12 +1,19 @@
 // Package spatial provides the neighbour-search substrates of the
-// repository: a uniform cell-list grid for the simulator's fixed-radius
+// repository: two uniform cell-list grids for the simulator's fixed-radius
 // queries (the N_rc(i) neighbourhoods of Eq. 6) and a k-d tree for the
 // nearest-neighbour correspondences of the ICP alignment stage.
 //
-// Both structures are exact — they return the same results as brute force,
-// which the property tests verify on random inputs — and both are built
-// per-use rather than incrementally updated, matching the simulator's
-// step-rebuild access pattern.
+// The two grids trade memory for rebuild cost. DenseGrid lays cells out in
+// a flat CSR array over the point set's bounding box and recycles its
+// backing arrays across Rebuild calls — the simulator's per-step hot path,
+// allocation-free in steady state. Grid keys cells sparsely in a map, so
+// its memory is O(n) regardless of how spread out the points are; it is
+// the fallback for pathologically sparse sets whose bounding box would
+// need far more cells than points.
+//
+// All structures are exact — they return the same results as brute force,
+// and the two grids visit neighbours in the same deterministic order,
+// which the property tests verify on random inputs.
 package spatial
 
 import (
@@ -75,6 +82,15 @@ func (g *Grid) ForNeighbors(i int, radius float64, fn func(j int)) {
 			}
 		}
 	}
+}
+
+// AppendNeighbors appends to dst the indices of all points j ≠ i with
+// ‖p_j − p_i‖ ≤ radius, in the same deterministic order as ForNeighbors,
+// and returns the extended slice. It mirrors DenseGrid.AppendNeighbors so
+// the simulator can swap backends without changing its scan loop.
+func (g *Grid) AppendNeighbors(dst []int32, i int, radius float64) []int32 {
+	g.ForNeighbors(i, radius, func(j int) { dst = append(dst, int32(j)) })
+	return dst
 }
 
 // Neighbors returns the indices of all points within radius of point i,
