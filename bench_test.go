@@ -78,7 +78,7 @@ func BenchmarkFig05SingleTypeRings(b *testing.B) {
 }
 
 func BenchmarkFig06SampleSnapshots(b *testing.B) {
-	res, err := experiment.Fig4Pipeline(benchScale(), benchSeed)
+	res, err := experiment.Fig6Pipeline(benchScale(), benchSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -152,6 +152,97 @@ func BenchmarkEstimatorComparison(b *testing.B) {
 			b.Fatal("empty table")
 		}
 	}
+}
+
+// --- pipeline memory model ---------------------------------------------------
+
+// legacyBatchPipeline reproduces the seed's fully-materialised measurement
+// data flow through the public API: run and retain the whole ensemble, then
+// build a complete aligned copy (serial per-step loop), then package every
+// step into datasets, then estimate — three M×T×N transcripts live at peak.
+// It is the baseline the streamed pipeline is benchmarked against.
+func legacyBatchPipeline(ec sim.EnsembleConfig) ([]float64, error) {
+	ens, err := sim.RunEnsemble(ec)
+	if err != nil {
+		return nil, err
+	}
+	times := ens.Times()
+	aligned := make([][][]vec.Vec2, len(times))
+	for t := range times {
+		af, err := align.AlignFrame(ens.FramesAt(t), ens.Types, align.FrameOptions{})
+		if err != nil {
+			return nil, err
+		}
+		aligned[t] = af
+	}
+	datasets := make([]*infotheory.Dataset, len(times))
+	for t := range times {
+		datasets[t] = infotheory.FromFrames(aligned[t])
+	}
+	mi := make([]float64, len(times))
+	for t := range times {
+		mi[t] = infotheory.MultiInfoKSGVariant(datasets[t], experiment.DefaultKSGK, infotheory.KSG2)
+	}
+	return mi, nil
+}
+
+// BenchmarkPipelineMemory contrasts the streamed measurement pipeline with
+// the retained variants on the Fig. 4 system. Run with -benchmem: the
+// acceptance bar of the streaming refactor is streamed B/op at least 2×
+// below the batch baseline (in practice the gap is far larger, since the
+// batch path also re-allocates all ICP scratch per frame). CI emits this
+// benchmark's output as a build artifact (BENCH trajectory).
+func BenchmarkPipelineMemory(b *testing.B) {
+	// TestScale's simulation budget, but a denser recording grid: the
+	// transcripts whose retention the two modes disagree about scale with
+	// the number of recorded frames, so a realistic MI-curve grid (11
+	// frames, as QuickScale produces) is the representative workload.
+	sc := benchScale()
+	pipeline := func() experiment.Pipeline {
+		return experiment.Pipeline{
+			Name: "bench",
+			Ensemble: sim.EnsembleConfig{
+				Sim:         experiment.Fig4Params(),
+				M:           sc.M,
+				Steps:       sc.Steps,
+				RecordEvery: sc.Steps / 10,
+				Seed:        benchSeed,
+			},
+		}
+	}
+	b.Run("streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		var last *experiment.Result
+		for i := 0; i < b.N; i++ {
+			res, err := pipeline().Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.FinalMI(), "final-bits")
+	})
+	b.Run("streamed-retained", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pipeline()
+			p.RetainEnsemble = true
+			if _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		var mi []float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			if mi, err = legacyBatchPipeline(pipeline().Ensemble); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(mi[len(mi)-1], "final-bits")
+	})
 }
 
 // --- ablations (design choices from DESIGN.md) ------------------------------

@@ -127,7 +127,7 @@ func (r runner) run(fig string) error {
 		return r.saveFigure(resultFigure("fig5",
 			"Multi-information vs time (20 particles, one type, F1, rc > 2r)", res.Times, res.MI))
 	case "fig6":
-		res, err := experiment.Fig4Pipeline(r.sc, r.seed)
+		res, err := experiment.Fig6Pipeline(r.sc, r.seed)
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,9 @@ func main() {
 			RecordEvery: 20,
 			Seed:        1,
 		},
+		// The pipeline streams by default and drops raw trajectories;
+		// keep them here because we print a final configuration below.
+		RetainEnsemble: true,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/vec"
+	"repro/internal/workpool"
 )
 
 // Reference selects the alignment reference for an ensemble frame.
@@ -61,42 +62,24 @@ func AlignFrame(frames [][]vec.Vec2, types []int, opt FrameOptions) ([][]vec.Vec
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > m {
-		workers = m
-	}
-	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		mu   sync.Mutex
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range next {
-				if s == refIdx {
-					out[s] = reference
-					continue
-				}
-				res, e := ICP(frames[s], reference, types, opt.ICP)
-				if e != nil {
-					mu.Lock()
-					if err == nil {
-						err = fmt.Errorf("align: sample %d: %w", s, e)
-					}
-					mu.Unlock()
-					continue
-				}
-				out[s] = res.Reordered()
-			}
-		}()
-	}
-	for s := 0; s < m; s++ {
-		next <- s
-	}
-	close(next)
-	wg.Wait()
+	var aligners sync.Pool // per-goroutine ICP scratch, reused across samples
+	err := workpool.Run(m, workers, func(s int) error {
+		if s == refIdx {
+			out[s] = reference
+			return nil
+		}
+		al, _ := aligners.Get().(*Aligner)
+		if al == nil {
+			al = new(Aligner)
+		}
+		defer aligners.Put(al)
+		dst := make([]vec.Vec2, len(types))
+		if e := al.AlignReorderedInto(dst, frames[s], reference, types, opt.ICP); e != nil {
+			return fmt.Errorf("align: sample %d: %w", s, e)
+		}
+		out[s] = dst
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

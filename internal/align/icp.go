@@ -77,14 +77,28 @@ func (r Result) Reordered() []vec.Vec2 {
 	return out
 }
 
-// lift embeds a typed 2-D configuration in R³ with the type as the third
-// coordinate, scaled by typeScale so nearest neighbours never cross types.
-func lift(ps []vec.Vec2, types []int, typeScale float64) []vec.Vec3 {
-	out := make([]vec.Vec3, len(ps))
-	for i, p := range ps {
-		out[i] = vec.Vec3{X: p.X, Y: p.Y, Z: float64(types[i]) * typeScale}
-	}
-	return out
+// Aligner runs ICP alignments with reusable scratch storage. A zero Aligner
+// is ready to use; after the first call, further alignments of same-sized
+// configurations perform (almost) no heap allocation, which matters when an
+// ensemble pipeline aligns tens of thousands of frames. An Aligner is not
+// safe for concurrent use — give each worker goroutine its own.
+type Aligner struct {
+	mov, ref  []vec.Vec2
+	rotated   []vec.Vec2
+	matched   []vec.Vec2
+	aligned   []vec.Vec2
+	refLifted []vec.Vec3
+	tree      spatial.KDTree3
+	brute     bool
+	perm      []int
+	order     []int
+	typeSort  typeSorter
+	pairs     []icpPair
+	pairSort  pairSorter
+	usedI     []bool
+	usedJ     []bool
+
+	movCentroid, refCentroid vec.Vec2
 }
 
 // ICP aligns the moving configuration onto the reference configuration,
@@ -100,24 +114,88 @@ func lift(ps []vec.Vec2, types []int, typeScale float64) []vec.Vec3 {
 // within each type, which unlike raw nearest-neighbour output is guaranteed
 // to be a bijection.
 func ICP(moving, reference []vec.Vec2, types []int, opt Options) (Result, error) {
+	var a Aligner
+	return a.ICP(moving, reference, types, opt)
+}
+
+// ICP is the scratch-reusing form of the package-level ICP. The returned
+// Result's slices are freshly allocated and caller-owned.
+func (a *Aligner) ICP(moving, reference []vec.Vec2, types []int, opt Options) (Result, error) {
+	theta, iters, err := a.icp(moving, reference, types, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	aligned := append([]vec.Vec2(nil), a.aligned...)
+	perm := append([]int(nil), a.perm...)
+
+	var sumD2 float64
+	for j, i := range perm {
+		sumD2 += aligned[i].Dist2(a.ref[j])
+	}
+
+	// Full transform in original coordinates:
+	// x ↦ R(θ)·(x − movCentroid) + refCentroid.
+	transform := Rigid{Theta: theta, T: a.refCentroid.Sub(a.movCentroid.Rotate(theta))}
+	return Result{
+		Transform:  transform,
+		Aligned:    aligned,
+		Perm:       perm,
+		RMS:        math.Sqrt(sumD2 / float64(len(moving))),
+		Iterations: iters,
+	}, nil
+}
+
+// AlignReorderedInto aligns moving onto reference and writes the reordered
+// aligned cloud directly into dst: dst[j] is the aligned position of the
+// moving particle matched to reference slot j (the w-representation of
+// Sec. 5.2). dst must have length len(reference). This is the zero-copy
+// path of the streaming observer accumulator: no intermediate Result is
+// materialised and, after scratch warm-up, the call is allocation-free.
+func (a *Aligner) AlignReorderedInto(dst []vec.Vec2, moving, reference []vec.Vec2, types []int, opt Options) error {
+	if len(dst) != len(reference) {
+		return fmt.Errorf("align: dst has %d slots, reference %d", len(dst), len(reference))
+	}
+	if _, _, err := a.icp(moving, reference, types, opt); err != nil {
+		return err
+	}
+	for j, i := range a.perm {
+		dst[j] = a.aligned[i]
+	}
+	return nil
+}
+
+// nearest answers a correspondence query against the lifted reference.
+func (a *Aligner) nearest(q vec.Vec3) (int, float64) {
+	if !a.brute {
+		return a.tree.Nearest(q)
+	}
+	return spatial.BruteNearest3(a.refLifted, q)
+}
+
+// icp runs the full alignment into the scratch buffers: afterwards
+// a.aligned holds the rotated moving cloud (original particle order) and
+// a.perm the type-respecting bijection. It returns the winning rotation
+// angle and the total iteration count.
+func (a *Aligner) icp(moving, reference []vec.Vec2, types []int, opt Options) (float64, int, error) {
 	if len(moving) != len(reference) {
-		return Result{}, fmt.Errorf("align: moving has %d points, reference %d", len(moving), len(reference))
+		return 0, 0, fmt.Errorf("align: moving has %d points, reference %d", len(moving), len(reference))
 	}
 	if len(types) != len(moving) {
-		return Result{}, fmt.Errorf("align: %d types for %d points", len(types), len(moving))
+		return 0, 0, fmt.Errorf("align: %d types for %d points", len(types), len(moving))
 	}
 	if len(moving) == 0 {
-		return Result{}, fmt.Errorf("align: empty configuration")
+		return 0, 0, fmt.Errorf("align: empty configuration")
 	}
 	if err := checkTypeMultiset(types); err != nil {
-		return Result{}, err
+		return 0, 0, err
 	}
 	opt = opt.withDefaults()
 
-	mov := append([]vec.Vec2(nil), moving...)
-	ref := append([]vec.Vec2(nil), reference...)
-	movCentroid := vec.Center(mov)
-	refCentroid := vec.Center(ref)
+	a.mov = append(a.mov[:0], moving...)
+	a.ref = append(a.ref[:0], reference...)
+	a.movCentroid = vec.Center(a.mov)
+	a.refCentroid = vec.Center(a.ref)
+	mov, ref := a.mov, a.ref
 
 	diameter := 2 * math.Max(vec.Radius(mov), vec.Radius(ref))
 	if diameter == 0 {
@@ -125,22 +203,20 @@ func ICP(moving, reference []vec.Vec2, types []int, opt Options) (Result, error)
 	}
 	typeScale := opt.TypeScaleFactor * diameter
 
-	refLifted := lift(ref, types, typeScale)
-	var tree *spatial.KDTree3
-	if !opt.BruteForceNN {
-		tree = spatial.NewKDTree3(refLifted)
+	a.refLifted = a.refLifted[:0]
+	for i, p := range ref {
+		a.refLifted = append(a.refLifted, vec.Vec3{X: p.X, Y: p.Y, Z: float64(types[i]) * typeScale})
 	}
-	nearest := func(q vec.Vec3) (int, float64) {
-		if tree != nil {
-			return tree.Nearest(q)
-		}
-		return spatial.BruteNearest3(refLifted, q)
+	a.brute = opt.BruteForceNN
+	if !a.brute {
+		a.tree.Rebuild(a.refLifted)
 	}
 
 	bestTheta, bestCost := 0.0, math.Inf(1)
 	totalIters := 0
-	matched := make([]vec.Vec2, len(mov))
-	rotated := make([]vec.Vec2, len(mov))
+	a.matched = growVec2(a.matched, len(mov))
+	a.rotated = growVec2(a.rotated, len(mov))
+	matched, rotated := a.matched, a.rotated
 
 	for restart := 0; restart < opt.Restarts; restart++ {
 		theta := 2 * math.Pi * float64(restart) / float64(opt.Restarts)
@@ -153,7 +229,7 @@ func ICP(moving, reference []vec.Vec2, types []int, opt Options) (Result, error)
 			// Correspondence in the lifted space.
 			var sumD2 float64
 			for i, p := range rotated {
-				j, _ := nearest(vec.Vec3{X: p.X, Y: p.Y, Z: float64(types[i]) * typeScale})
+				j, _ := a.nearest(vec.Vec3{X: p.X, Y: p.Y, Z: float64(types[i]) * typeScale})
 				matched[i] = ref[j]
 				sumD2 += p.Dist2(ref[j])
 			}
@@ -173,7 +249,7 @@ func ICP(moving, reference []vec.Vec2, types []int, opt Options) (Result, error)
 		var cost float64
 		for i, p := range mov {
 			q := p.Rotate(theta)
-			_, d2 := nearest(vec.Vec3{X: q.X, Y: q.Y, Z: float64(types[i]) * typeScale})
+			_, d2 := a.nearest(vec.Vec3{X: q.X, Y: q.Y, Z: float64(types[i]) * typeScale})
 			cost += d2
 		}
 		if cost < bestCost {
@@ -181,27 +257,12 @@ func ICP(moving, reference []vec.Vec2, types []int, opt Options) (Result, error)
 		}
 	}
 
-	aligned := make([]vec.Vec2, len(moving))
+	a.aligned = growVec2(a.aligned, len(moving))
 	for i, p := range mov {
-		aligned[i] = p.Rotate(bestTheta)
+		a.aligned[i] = p.Rotate(bestTheta)
 	}
-	perm := matchByType(aligned, ref, types)
-
-	var sumD2 float64
-	for j, i := range perm {
-		sumD2 += aligned[i].Dist2(ref[j])
-	}
-
-	// Full transform in original coordinates:
-	// x ↦ R(θ)·(x − movCentroid) + refCentroid.
-	transform := Rigid{Theta: bestTheta, T: refCentroid.Sub(movCentroid.Rotate(bestTheta))}
-	return Result{
-		Transform:  transform,
-		Aligned:    aligned,
-		Perm:       perm,
-		RMS:        math.Sqrt(sumD2 / float64(len(moving))),
-		Iterations: totalIters,
-	}, nil
+	a.matchByType(a.aligned, ref, types)
+	return bestTheta, totalIters, nil
 }
 
 func checkTypeMultiset(types []int) error {
@@ -213,49 +274,114 @@ func checkTypeMultiset(types []int) error {
 	return nil
 }
 
+type icpPair struct {
+	d2   float64
+	i, j int // moving index, reference index
+}
+
+// pairSorter orders candidate pairs by distance with deterministic index
+// tie-breaks — a reusable sort.Interface so the per-frame matching does not
+// allocate a closure and swapper the way sort.Slice would.
+type pairSorter struct{ pairs []icpPair }
+
+func (p *pairSorter) Len() int      { return len(p.pairs) }
+func (p *pairSorter) Swap(a, b int) { p.pairs[a], p.pairs[b] = p.pairs[b], p.pairs[a] }
+func (p *pairSorter) Less(a, b int) bool {
+	pa, pb := p.pairs[a], p.pairs[b]
+	if pa.d2 != pb.d2 {
+		return pa.d2 < pb.d2
+	}
+	if pa.i != pb.i {
+		return pa.i < pb.i
+	}
+	return pa.j < pb.j
+}
+
+// typeSorter orders particle indices by (type, index) so same-type
+// particles form contiguous runs — constant scratch for any type ids,
+// where a dense per-type bucket array would scale with the largest id and
+// a map would allocate per frame.
+type typeSorter struct {
+	idx   []int
+	types []int
+}
+
+func (s *typeSorter) Len() int      { return len(s.idx) }
+func (s *typeSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *typeSorter) Less(a, b int) bool {
+	ta, tb := s.types[s.idx[a]], s.types[s.idx[b]]
+	if ta != tb {
+		return ta < tb
+	}
+	return s.idx[a] < s.idx[b]
+}
+
 // matchByType produces a type-respecting bijection between the moving and
-// reference clouds: Perm[j] = i. Within each type it runs a greedy
-// minimum-distance matching (repeatedly pairing the globally closest
+// reference clouds into a.perm: perm[j] = i. Within each type it runs a
+// greedy minimum-distance matching (repeatedly pairing the globally closest
 // unmatched moving/reference pair), which is O(n² log n) per type and is a
 // strict improvement over the raw many-to-one nearest-neighbour output of
-// the ICP correspondence step.
-func matchByType(moving, reference []vec.Vec2, types []int) []int {
+// the ICP correspondence step. Types are processed in increasing order; the
+// result is identical to any other order because the per-type matchings
+// write disjoint permutation slots.
+func (a *Aligner) matchByType(moving, reference []vec.Vec2, types []int) {
 	n := len(moving)
-	perm := make([]int, n)
-	byType := map[int][]int{}
-	for i, t := range types {
-		byType[t] = append(byType[t], i)
+	a.perm = growInt(a.perm, n)
+	a.order = growInt(a.order, n)
+	for i := range a.order {
+		a.order[i] = i
 	}
-	type pair struct {
-		d2   float64
-		i, j int // moving index, reference index
-	}
-	for _, idx := range byType {
-		pairs := make([]pair, 0, len(idx)*len(idx))
+	a.typeSort = typeSorter{idx: a.order, types: types}
+	sort.Sort(&a.typeSort)
+	a.usedI = growBool(a.usedI, n)
+	a.usedJ = growBool(a.usedJ, n)
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && types[a.order[hi]] == types[a.order[lo]] {
+			hi++
+		}
+		idx := a.order[lo:hi] // one type's members, in increasing index order
+		lo = hi
+		a.pairs = a.pairs[:0]
 		for _, i := range idx {
 			for _, j := range idx {
-				pairs = append(pairs, pair{moving[i].Dist2(reference[j]), i, j})
+				a.pairs = append(a.pairs, icpPair{moving[i].Dist2(reference[j]), i, j})
 			}
 		}
-		sort.Slice(pairs, func(a, b int) bool {
-			if pairs[a].d2 != pairs[b].d2 {
-				return pairs[a].d2 < pairs[b].d2
-			}
-			if pairs[a].i != pairs[b].i {
-				return pairs[a].i < pairs[b].i
-			}
-			return pairs[a].j < pairs[b].j
-		})
-		usedI := map[int]bool{}
-		usedJ := map[int]bool{}
-		for _, p := range pairs {
-			if usedI[p.i] || usedJ[p.j] {
+		a.pairSort.pairs = a.pairs
+		sort.Sort(&a.pairSort)
+		for _, i := range idx {
+			a.usedI[i] = false
+			a.usedJ[i] = false
+		}
+		for _, p := range a.pairs {
+			if a.usedI[p.i] || a.usedJ[p.j] {
 				continue
 			}
-			usedI[p.i] = true
-			usedJ[p.j] = true
-			perm[p.j] = p.i
+			a.usedI[p.i] = true
+			a.usedJ[p.j] = true
+			a.perm[p.j] = p.i
 		}
 	}
-	return perm
+}
+
+func growVec2(s []vec.Vec2, n int) []vec.Vec2 {
+	if cap(s) < n {
+		return make([]vec.Vec2, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

@@ -39,8 +39,11 @@ func TestPipelineRunShapes(t *testing.T) {
 	if len(res.Times) != 3 || len(res.MI) != 3 {
 		t.Fatalf("times=%v MI=%v", res.Times, res.MI)
 	}
-	if res.Ensemble == nil || res.Observers == nil {
-		t.Fatal("raw outputs missing")
+	if res.Observers == nil {
+		t.Fatal("observers missing")
+	}
+	if res.Ensemble != nil {
+		t.Fatal("ensemble retained without RetainEnsemble")
 	}
 	if len(res.Labels) != 10 {
 		t.Fatalf("labels = %v", res.Labels)
@@ -48,6 +51,26 @@ func TestPipelineRunShapes(t *testing.T) {
 	for _, mi := range res.MI {
 		if math.IsNaN(mi) || math.IsInf(mi, 0) {
 			t.Fatalf("non-finite MI: %v", res.MI)
+		}
+	}
+}
+
+func TestPipelineRetainEnsemble(t *testing.T) {
+	p := tinyPipeline("retain", "")
+	p.RetainEnsemble = true
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ensemble == nil {
+		t.Fatal("RetainEnsemble did not retain the ensemble")
+	}
+	if len(res.Ensemble.Trajs) != p.Ensemble.M {
+		t.Fatalf("%d trajectories, want %d", len(res.Ensemble.Trajs), p.Ensemble.M)
+	}
+	for s, traj := range res.Ensemble.Trajs {
+		if len(traj.Frames) != len(res.Times) {
+			t.Fatalf("sample %d has %d frames, want %d", s, len(traj.Frames), len(res.Times))
 		}
 	}
 }
@@ -295,6 +318,7 @@ func TestEstimatorComparisonRanksKSGAboveBaselines(t *testing.T) {
 
 func TestFig6SnapshotsSlicesEnsemble(t *testing.T) {
 	p := tinyPipeline("snap", "")
+	p.RetainEnsemble = true
 	res, err := p.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -307,6 +331,16 @@ func TestFig6SnapshotsSlicesEnsemble(t *testing.T) {
 		if len(s.Pos) != 10 || len(s.Types) != 10 {
 			t.Fatal("snapshot shape wrong")
 		}
+	}
+}
+
+func TestFig6SnapshotsWithoutEnsemble(t *testing.T) {
+	res, err := tinyPipeline("nosnap", "").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps := Fig6Snapshots(res, []int{0}, 2); snaps != nil {
+		t.Fatalf("snapshots from an unretained result: %v", snaps)
 	}
 }
 

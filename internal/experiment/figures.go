@@ -175,8 +175,8 @@ func Fig4Params() sim.Config {
 }
 
 // Fig4Pipeline runs the Fig. 4 experiment at the given scale and returns
-// the MI time series (and, through the Result, the raw ensemble for the
-// Fig. 6 snapshots).
+// the MI time series. The raw ensemble is not retained; use Fig6Pipeline
+// when the per-sample snapshots are needed too.
 func Fig4Pipeline(sc Scale, seed uint64) (*Result, error) {
 	p := Pipeline{
 		Name: "fig4",
@@ -187,6 +187,24 @@ func Fig4Pipeline(sc Scale, seed uint64) (*Result, error) {
 			RecordEvery: sc.RecordEvery,
 			Seed:        seed,
 		},
+	}
+	return p.Run()
+}
+
+// Fig6Pipeline is the Fig. 4 experiment with the raw ensemble retained, the
+// input of the Fig. 6 sample-variety snapshots. It is the one figure driver
+// that opts back into full-trajectory retention.
+func Fig6Pipeline(sc Scale, seed uint64) (*Result, error) {
+	p := Pipeline{
+		Name: "fig6",
+		Ensemble: sim.EnsembleConfig{
+			Sim:         Fig4Params(),
+			M:           sc.M,
+			Steps:       sc.Steps,
+			RecordEvery: sc.RecordEvery,
+			Seed:        seed,
+		},
+		RetainEnsemble: true,
 	}
 	return p.Run()
 }
@@ -224,8 +242,13 @@ func Fig5SingleTypeRings(sc Scale, seed uint64) (*Result, error) {
 
 // Fig6Snapshots extracts per-sample snapshots from a Fig. 4 result at the
 // recorded steps closest to the requested times, for up to maxSamples
-// samples — the sample-variety panel of Fig. 6.
+// samples — the sample-variety panel of Fig. 6. The result must carry the
+// raw ensemble (Pipeline.RetainEnsemble, e.g. via Fig6Pipeline); a result
+// without one yields no snapshots.
 func Fig6Snapshots(res *Result, atSteps []int, maxSamples int) []TypedConfig {
+	if res.Ensemble == nil {
+		return nil
+	}
 	var out []TypedConfig
 	types := res.Ensemble.Types
 	for _, want := range atSteps {

@@ -6,10 +6,10 @@
 package experiment
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/infotheory"
 	"repro/internal/observer"
@@ -68,8 +68,15 @@ type Pipeline struct {
 	// marginal entropies") made measurable.
 	TrackEntropies bool
 	// Workers bounds the per-time-step estimation parallelism;
-	// 0 means GOMAXPROCS.
+	// 0 means GOMAXPROCS. Simulation-stage parallelism is bounded
+	// separately by Ensemble.Workers; alignment runs inline on the
+	// simulation workers.
 	Workers int
+	// RetainEnsemble keeps the raw trajectories in Result.Ensemble (for
+	// snapshot figures and trajectory analyses). Off by default: the
+	// streaming pipeline then never materialises the ensemble, so peak
+	// memory is the per-step observer datasets alone.
+	RetainEnsemble bool
 }
 
 // Result is the outcome of a pipeline run.
@@ -90,7 +97,8 @@ type Result struct {
 	// EquilibratedFraction is the fraction of ensemble samples that met
 	// the equilibrium criterion during their run.
 	EquilibratedFraction float64
-	// Ensemble is the raw simulation output (for snapshot figures).
+	// Ensemble is the raw simulation output (for snapshot figures);
+	// nil unless Pipeline.RetainEnsemble was set.
 	Ensemble *sim.Ensemble
 	// Observers holds the aligned per-step datasets.
 	Observers *observer.Observers
@@ -113,11 +121,10 @@ func (r *Result) FinalMI() float64 {
 	return r.MI[len(r.MI)-1]
 }
 
-func (p Pipeline) estimator() (infotheory.Estimator, error) {
-	k := p.K
-	if k == 0 {
-		k = DefaultKSGK
-	}
+// estimator builds the per-step estimator closure; k is the effective
+// k-NN parameter from effectiveK, so validation and estimation can never
+// disagree about its value.
+func (p Pipeline) estimator(k int) (infotheory.Estimator, error) {
 	switch p.Estimator {
 	case "", EstKSG2:
 		return func(d *infotheory.Dataset) float64 {
@@ -142,16 +149,150 @@ func (p Pipeline) estimator() (infotheory.Estimator, error) {
 	}
 }
 
-// Run executes the full pipeline: ensemble simulation, alignment/reduction,
-// and per-recorded-step multi-information estimation (parallel over steps).
-func (p Pipeline) Run() (*Result, error) {
-	if p.Ensemble.M > 0 && p.K >= p.Ensemble.M {
-		return nil, errors.New("experiment: KSG k must be smaller than the ensemble size M")
+// effectiveK returns the k actually used by the KSG machinery (the
+// explicit K or the paper's default), and whether this pipeline evaluates a
+// k-NN estimate at all.
+func (p Pipeline) effectiveK() (k int, used bool) {
+	k = p.K
+	if k == 0 {
+		k = DefaultKSGK
 	}
-	est, err := p.estimator()
+	switch p.Estimator {
+	case "", EstKSG2, EstKSG1, EstKSGPaper:
+		used = true
+	default:
+		used = p.TrackEntropies
+	}
+	return k, used
+}
+
+// Run executes the full pipeline as a staged stream: ensemble simulation,
+// per-frame alignment/reduction, and per-recorded-step multi-information
+// estimation overlap on bounded worker budgets (Ensemble.Workers for
+// simulation+alignment, Workers for estimation). The alignment-reference
+// sample runs first; every other sample's frames are then aligned as they
+// are produced and written straight into the per-step observer datasets,
+// and a step is estimated as soon as its dataset holds all M samples. The
+// raw ensemble is never materialised unless RetainEnsemble is set, so peak
+// memory stays at one dataset transcript regardless of M×Steps. Results
+// are bit-identical to the fully-batched path for every worker count.
+//
+// The medoid alignment reference needs all samples of a frame at once and
+// therefore falls back to the batch path transparently.
+func (p Pipeline) Run() (*Result, error) {
+	effK, usesK := p.effectiveK()
+	if p.Ensemble.M > 0 {
+		// The guard must apply to the defaulted k too: K=0 means k=4,
+		// which is just as invalid for M ≤ 4 as an explicit K would be.
+		if usesK && effK >= p.Ensemble.M {
+			return nil, fmt.Errorf("experiment: KSG k (%d) must be smaller than the ensemble size M (%d)", effK, p.Ensemble.M)
+		}
+		if !usesK && p.K >= p.Ensemble.M && p.K > 0 {
+			return nil, fmt.Errorf("experiment: K (%d) must be smaller than the ensemble size M (%d)", p.K, p.Ensemble.M)
+		}
+	}
+	est, err := p.estimator(effK)
 	if err != nil {
 		return nil, err
 	}
+	if !p.Observer.Streamable() {
+		return p.runBatch(est, effK)
+	}
+	return p.runStreamed(est, effK)
+}
+
+// runStreamed is the streaming pipeline behind Run.
+func (p Pipeline) runStreamed(est infotheory.Estimator, effK int) (*Result, error) {
+	ec, err := p.Ensemble.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
+	}
+	times := sim.RecordedSteps(ec.Steps, ec.RecordEvery)
+	acc, err := observer.NewAccumulator(ec.M, times, ec.Sim.Types, p.Observer)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %q: observers: %w", p.Name, err)
+	}
+	// Completed steps flow to the estimation stage through ready; the
+	// buffer covers the whole grid so completions never block alignment.
+	ready := make(chan int, len(times))
+	acc.OnStepComplete = func(t int) { ready <- t }
+
+	var col *sim.Collector
+	if p.RetainEnsemble {
+		if col, err = sim.NewCollector(ec); err != nil {
+			return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
+		}
+	}
+	var eqCount atomic.Int64
+	track := func(f sim.Frame) error {
+		if col != nil {
+			if err := col.Visit(f); err != nil {
+				return err
+			}
+		}
+		if f.Final && f.Equilibrated {
+			eqCount.Add(1)
+		}
+		return nil
+	}
+
+	// Stage 1: the alignment-reference sample (sample 0) runs to
+	// completion, establishing the per-step references and the k-means
+	// anchor. It costs 1/M of the simulation budget.
+	_, err = sim.StreamSamples(ec, 0, 1, func(f sim.Frame) error {
+		if err := track(f); err != nil {
+			return err
+		}
+		return acc.SeedReference(f.Index, f.Pos)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
+	}
+	if err := acc.FinishReference(); err != nil {
+		return nil, fmt.Errorf("experiment %q: observers: %w", p.Name, err)
+	}
+
+	res := &Result{
+		Name:   p.Name,
+		Times:  append([]int(nil), times...),
+		MI:     make([]float64, len(times)),
+		Labels: acc.Labels(),
+	}
+	if p.Decompose {
+		res.Decomp = make([]infotheory.Decomposition, len(times))
+	}
+	if p.TrackEntropies {
+		res.Entropies = make([]infotheory.EntropyProfile, len(times))
+	}
+
+	// Stage 3 starts before stage 2 so estimation overlaps simulation.
+	estWG := p.startEstimators(res, acc.Datasets(), infotheory.GroupsByLabel(acc.Labels()), est, effK, ready)
+
+	// Stage 2: the remaining samples stream through inline alignment.
+	_, simErr := sim.StreamSamples(ec, 1, ec.M, func(f sim.Frame) error {
+		if err := track(f); err != nil {
+			return err
+		}
+		return acc.Add(f.Sample, f.Index, f.Pos)
+	})
+	close(ready) // all Add calls have returned: no sends can follow
+	estWG.Wait()
+	if simErr != nil {
+		return nil, fmt.Errorf("experiment %q: %w", p.Name, simErr)
+	}
+
+	res.Observers = acc.Observers()
+	res.EquilibratedFraction = float64(eqCount.Load()) / float64(ec.M)
+	if col != nil {
+		res.Ensemble = col.Ensemble()
+	}
+	return res, nil
+}
+
+// runBatch materialises the full ensemble and an aligned copy before
+// estimating — required by the medoid alignment reference, and kept as the
+// reference implementation the streaming path is tested against.
+func (p Pipeline) runBatch(est infotheory.Estimator, effK int) (*Result, error) {
 	ens, err := sim.RunEnsemble(p.Ensemble)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
@@ -166,8 +307,10 @@ func (p Pipeline) Run() (*Result, error) {
 		Times:     obs.Times,
 		MI:        make([]float64, len(obs.Times)),
 		Labels:    obs.Labels,
-		Ensemble:  ens,
 		Observers: obs,
+	}
+	if p.RetainEnsemble {
+		res.Ensemble = ens
 	}
 	if p.Decompose {
 		res.Decomp = make([]infotheory.Decomposition, len(obs.Times))
@@ -183,41 +326,43 @@ func (p Pipeline) Run() (*Result, error) {
 	}
 	res.EquilibratedFraction = float64(eq) / float64(len(ens.Equilibrated))
 
-	groups := obs.Groups()
+	ready := make(chan int, len(obs.Times))
+	for t := range obs.Times {
+		ready <- t
+	}
+	close(ready)
+	p.startEstimators(res, obs.Datasets, obs.Groups(), est, effK, ready).Wait()
+	return res, nil
+}
+
+// startEstimators launches the estimation stage: workers consume completed
+// step indices from ready until it closes, writing MI (and optionally the
+// decomposition and entropy profiles) into disjoint slots of res.
+func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, groups [][]int, est infotheory.Estimator, effK int, ready <-chan int) *sync.WaitGroup {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(obs.Times) {
-		workers = len(obs.Times)
+	if workers > len(datasets) {
+		workers = len(datasets)
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	wg := &sync.WaitGroup{}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range next {
-				res.MI[t] = est(obs.Datasets[t])
+			for t := range ready {
+				res.MI[t] = est(datasets[t])
 				if p.Decompose {
-					res.Decomp[t] = infotheory.Decompose(obs.Datasets[t], groups, est)
+					res.Decomp[t] = infotheory.Decompose(datasets[t], groups, est)
 				}
 				if p.TrackEntropies {
-					k := p.K
-					if k == 0 {
-						k = DefaultKSGK
-					}
-					res.Entropies[t] = infotheory.Entropies(obs.Datasets[t], k)
+					res.Entropies[t] = infotheory.Entropies(datasets[t], effK)
 				}
 			}
 		}()
 	}
-	for t := range obs.Times {
-		next <- t
-	}
-	close(next)
-	wg.Wait()
-	return res, nil
+	return wg
 }
 
 // Scale bundles the ensemble-size knobs so every figure driver can run at

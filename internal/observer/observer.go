@@ -8,6 +8,7 @@ package observer
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/align"
 	"repro/internal/infotheory"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/rngx"
 	"repro/internal/sim"
 	"repro/internal/vec"
+	"repro/internal/workpool"
 )
 
 // Observers is the processed representation of one experiment: for each
@@ -53,15 +55,69 @@ type Config struct {
 	SkipAlign bool
 }
 
+// Streamable reports whether this configuration can run through the
+// streaming Accumulator: either alignment is skipped, or the reference is
+// RefFirst (the default). The medoid reference needs every sample of a
+// frame simultaneously and requires the batch path. This is the single
+// dispatch predicate shared by FromEnsemble, NewAccumulator and
+// experiment.Pipeline.Run.
+func (c Config) Streamable() bool {
+	return c.SkipAlign || c.Align.Reference == align.RefFirst
+}
+
 // FromEnsemble aligns every recorded frame of the ensemble and packages the
 // result as observer datasets. The anchor frame for the k-means reduction is
 // the aligned final frame of the first sample (organised configurations
 // give spatially meaningful clusters).
+//
+// With the default RefFirst reference (or SkipAlign) the work runs through
+// the streaming Accumulator: frames are aligned in parallel across
+// (sample, step) work items and written directly into the per-step
+// datasets, with no aligned intermediate copy of the ensemble. The medoid
+// reference needs all samples of a frame at once and takes the batch path.
 func FromEnsemble(ens *sim.Ensemble, cfg Config) (*Observers, error) {
 	times := ens.Times()
 	if len(times) == 0 {
 		return nil, fmt.Errorf("observer: ensemble has no recorded frames")
 	}
+	if !cfg.Streamable() {
+		return fromEnsembleBatch(ens, cfg)
+	}
+	m := len(ens.Trajs)
+	acc, err := NewAccumulator(m, times, ens.Types, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for t := range times {
+		if err := acc.SeedReference(t, ens.Trajs[0].Frames[t]); err != nil {
+			return nil, err
+		}
+	}
+	if err := acc.FinishReference(); err != nil {
+		return nil, err
+	}
+	if m > 1 {
+		nT := len(times)
+		workers := cfg.Align.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		err := workpool.Run((m-1)*nT, workers, func(i int) error {
+			s, t := 1+i/nT, i%nT
+			return acc.Add(s, t, ens.Trajs[s].Frames[t])
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.Observers(), nil
+}
+
+// fromEnsembleBatch is the fully-materialised path: align every frame over
+// all samples first (required by the medoid reference), then package the
+// aligned copies into datasets.
+func fromEnsembleBatch(ens *sim.Ensemble, cfg Config) (*Observers, error) {
+	times := ens.Times()
 	// Align all recorded frames.
 	aligned := make([][][]vec.Vec2, len(times))
 	for t := range times {

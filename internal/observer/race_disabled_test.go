@@ -1,0 +1,5 @@
+//go:build !race
+
+package observer
+
+const raceEnabled = false

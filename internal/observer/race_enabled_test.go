@@ -1,0 +1,7 @@
+//go:build race
+
+package observer
+
+// raceEnabled lets allocation-count assertions skip themselves under the
+// race detector, whose instrumentation allocates.
+const raceEnabled = true

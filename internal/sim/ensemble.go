@@ -1,12 +1,6 @@
 package sim
 
 import (
-	"errors"
-	"fmt"
-	"runtime"
-	"sync"
-
-	"repro/internal/rngx"
 	"repro/internal/vec"
 )
 
@@ -80,101 +74,19 @@ func (e *Ensemble) FramesAt(t int) [][]vec.Vec2 {
 	return out
 }
 
-// RunEnsemble executes the ensemble on a worker pool. Sample i is seeded
-// with rngx.Split(Seed, i) regardless of which worker runs it, so the
-// result is bit-identical for any worker count.
+// RunEnsemble executes the ensemble on a worker pool and retains every
+// trajectory. Sample i is seeded with rngx.Split(Seed, i) regardless of
+// which worker runs it, so the result is bit-identical for any worker
+// count. It is the full-retention composition of StreamEnsemble with a
+// Collector; pipelines that only need each frame once should stream
+// instead and keep peak memory independent of M×Steps.
 func RunEnsemble(ec EnsembleConfig) (*Ensemble, error) {
-	ec.Sim = ec.Sim.WithDefaults()
-	if err := ec.Sim.Validate(); err != nil {
-		return nil, err
-	}
-	if ec.M <= 0 {
-		return nil, errors.New("sim: ensemble M must be positive")
-	}
-	if ec.Steps <= 0 {
-		return nil, errors.New("sim: ensemble Steps must be positive")
-	}
-	if ec.RecordEvery <= 0 {
-		ec.RecordEvery = 1
-	}
-	workers := ec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > ec.M {
-		workers = ec.M
-	}
-
-	ens := &Ensemble{
-		Cfg:          ec,
-		Types:        append([]int(nil), ec.Sim.Types...),
-		Trajs:        make([]Trajectory, ec.M),
-		Equilibrated: make([]bool, ec.M),
-	}
-
-	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		errc = make(chan error, workers)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range next {
-				traj, eq, err := runSample(ec, uint64(s))
-				if err != nil {
-					select {
-					case errc <- fmt.Errorf("sample %d: %w", s, err):
-					default:
-					}
-					return
-				}
-				ens.Trajs[s] = traj
-				ens.Equilibrated[s] = eq
-			}
-		}()
-	}
-	for s := 0; s < ec.M; s++ {
-		next <- s
-	}
-	close(next)
-	wg.Wait()
-	select {
-	case err := <-errc:
-		return nil, err
-	default:
-	}
-	return ens, nil
-}
-
-func runSample(ec EnsembleConfig, stream uint64) (Trajectory, bool, error) {
-	sys, err := New(ec.Sim, rngx.Split(ec.Seed, stream))
+	col, err := NewCollector(ec)
 	if err != nil {
-		return Trajectory{}, false, err
+		return nil, err
 	}
-	nRec := ec.Steps/ec.RecordEvery + 1
-	if ec.Steps%ec.RecordEvery != 0 {
-		nRec++ // final step recorded additionally
+	if _, err := StreamEnsemble(ec, col.Visit); err != nil {
+		return nil, err
 	}
-	traj := Trajectory{
-		Times:  make([]int, 0, nRec),
-		Frames: make([][]vec.Vec2, 0, nRec),
-	}
-	record := func() {
-		traj.Times = append(traj.Times, sys.Time())
-		traj.Frames = append(traj.Frames, sys.Positions())
-	}
-	record() // t = 0
-	equilibrated := false
-	for k := 1; k <= ec.Steps; k++ {
-		sys.Step()
-		if sys.InEquilibrium() {
-			equilibrated = true
-		}
-		if k%ec.RecordEvery == 0 || k == ec.Steps {
-			record()
-		}
-	}
-	return traj, equilibrated, nil
+	return col.Ensemble(), nil
 }

@@ -20,6 +20,8 @@ type KDTree3 struct {
 	points []vec.Vec3
 	nodes  []kdNode
 	root   int32
+	idx    []int32
+	sorter kdSorter
 }
 
 type kdNode struct {
@@ -32,16 +34,49 @@ type kdNode struct {
 // NewKDTree3 builds a balanced tree by recursive median split. The input
 // slice is not retained or modified.
 func NewKDTree3(points []vec.Vec3) *KDTree3 {
-	t := &KDTree3{
-		points: points,
-		nodes:  make([]kdNode, 0, len(points)),
-	}
-	idx := make([]int32, len(points))
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	t.root = t.build(idx, 0)
+	t := &KDTree3{}
+	t.Rebuild(points)
 	return t
+}
+
+// Rebuild reconstructs the tree over a new point set in place, reusing the
+// node and index storage of previous builds. After warm-up, rebuilding over
+// same-sized inputs performs no heap allocation — the property the ICP
+// alignment relies on when it re-lifts the reference cloud once per frame
+// pair. The input slice is read during the call only, not retained.
+func (t *KDTree3) Rebuild(points []vec.Vec3) {
+	t.points = points
+	t.nodes = t.nodes[:0]
+	if cap(t.idx) < len(points) {
+		t.idx = make([]int32, len(points))
+	}
+	t.idx = t.idx[:len(points)]
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	t.root = t.build(t.idx, 0)
+	t.points = nil
+	t.sorter = kdSorter{}
+}
+
+// kdSorter sorts an index slice by one coordinate axis with a deterministic
+// index tie-break. It replaces a per-node sort.Slice call (whose closure and
+// reflection-based swapper allocate) with a reusable sort.Interface value.
+type kdSorter struct {
+	idx    []int32
+	points []vec.Vec3
+	axis   int8
+}
+
+func (s *kdSorter) Len() int      { return len(s.idx) }
+func (s *kdSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *kdSorter) Less(a, b int) bool {
+	ca := coord3(s.points[s.idx[a]], s.axis)
+	cb := coord3(s.points[s.idx[b]], s.axis)
+	if ca != cb {
+		return ca < cb
+	}
+	return s.idx[a] < s.idx[b] // stable tie-break for determinism
 }
 
 func coord3(p vec.Vec3, axis int8) float64 {
@@ -60,14 +95,8 @@ func (t *KDTree3) build(idx []int32, depth int) int32 {
 		return -1
 	}
 	axis := int8(depth % 3)
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := t.points[idx[a]], t.points[idx[b]]
-		ca, cb := coord3(pa, axis), coord3(pb, axis)
-		if ca != cb {
-			return ca < cb
-		}
-		return idx[a] < idx[b] // stable tie-break for determinism
-	})
+	t.sorter = kdSorter{idx: idx, points: t.points, axis: axis}
+	sort.Sort(&t.sorter)
 	mid := len(idx) / 2
 	node := kdNode{
 		point: t.points[idx[mid]],

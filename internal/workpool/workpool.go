@@ -1,0 +1,72 @@
+// Package workpool provides the one worker-pool idiom the pipeline stages
+// share: distribute items over a bounded set of goroutines, stop handing
+// out work on the first error, and never strand the producer.
+//
+// The drain contract matters: a naive pool whose workers return on error
+// leaves the producer blocked forever on an unbuffered send once every
+// worker has exited — the exact deadlock the pre-streaming ensemble runner
+// shipped. Centralising the select-on-done producer here keeps the fix in
+// one place for every stage (simulation, alignment, estimation feeds).
+package workpool
+
+import "sync"
+
+// Run executes fn(i) for every i in [0, n) on up to `workers` goroutines
+// (at least 1; capped at n). If any call returns an error, no further
+// items are handed out, in-flight calls finish, and the first error is
+// returned. fn must be safe for concurrent invocation on distinct items.
+func Run(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		done     = make(chan struct{})
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+produce:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done: // a worker failed: stop producing
+			break produce
+		}
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,78 @@
+package workpool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var mu sync.Mutex
+		seen := map[int]int{}
+		if err := Run(37, workers, func(i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 37 {
+			t.Fatalf("workers=%d: %d items ran, want 37", workers, len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if err := Run(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := Run(1, 8, func(int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRunReturnsFirstErrorAndStops(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Run(10_000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Error("error did not stop the producer early")
+	}
+}
+
+// TestRunAllWorkersFailNoDeadlock is the pool-level deadlock regression
+// test: every worker errors immediately, with far more items than workers;
+// the producer must drain instead of blocking on an unbuffered send.
+func TestRunAllWorkersFailNoDeadlock(t *testing.T) {
+	donec := make(chan error, 1)
+	go func() {
+		donec <- Run(100_000, 4, func(int) error { return errors.New("fail") })
+	}()
+	select {
+	case err := <-donec:
+		if err == nil {
+			t.Fatal("no error reported")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked when all workers failed")
+	}
+}

@@ -74,6 +74,43 @@ type (
 	Ensemble = sim.Ensemble
 )
 
+// Streaming ensemble machinery: the bounded-memory alternative to working
+// with fully-materialised ensembles. StreamEnsemble emits each sample's
+// recorded frames to a consumer as they are produced; the observer
+// Accumulator aligns streamed frames straight into per-step datasets; a
+// Collector opts back into full-trajectory retention. Pipeline.Run is
+// built from exactly these stages.
+type (
+	// Frame is one recorded frame delivered to a streaming consumer.
+	Frame = sim.Frame
+	// FrameVisitor consumes streamed frames (possibly concurrently).
+	FrameVisitor = sim.FrameVisitor
+	// StreamResult describes a completed frame stream.
+	StreamResult = sim.StreamResult
+	// EnsembleCollector copies streamed frames into an Ensemble.
+	EnsembleCollector = sim.Collector
+	// ObserverAccumulator builds per-step observer datasets from
+	// streamed frames without materialising the ensemble.
+	ObserverAccumulator = observer.Accumulator
+	// Aligner runs ICP alignments with reusable scratch storage.
+	Aligner = align.Aligner
+)
+
+var (
+	// StreamEnsemble runs all samples and streams their recorded frames.
+	StreamEnsemble = sim.StreamEnsemble
+	// StreamSamples streams a sub-range of the ensemble's samples.
+	StreamSamples = sim.StreamSamples
+	// RecordedSteps returns the shared recorded time grid of a run.
+	RecordedSteps = sim.RecordedSteps
+	// NewEnsembleCollector prepares full-trajectory retention for a
+	// stream.
+	NewEnsembleCollector = sim.NewCollector
+	// NewObserverAccumulator prepares streaming alignment into per-step
+	// datasets.
+	NewObserverAccumulator = observer.NewAccumulator
+)
+
 // Measurement (Secs. 3.1, 5.2, 5.3).
 type (
 	// Pipeline is a full experiment: simulate → align → estimate.
@@ -225,4 +262,9 @@ var (
 // factor out the shape symmetries, and estimate the multi-information of
 // the observer variables at every recorded step. Self-organization in the
 // paper's sense (Sec. 3.1) is an increasing Result.MI curve.
+//
+// The stages run as an overlapped stream with bounded memory: raw
+// trajectories are dropped as soon as they are aligned unless
+// Pipeline.RetainEnsemble is set, so ensemble sizes far beyond the paper's
+// fit in memory. Results are bit-identical for every worker count.
 func MeasureSelfOrganization(p Pipeline) (*Result, error) { return p.Run() }
