@@ -72,6 +72,14 @@ type Pipeline struct {
 	// separately by Ensemble.Workers; alignment runs inline on the
 	// simulation workers.
 	Workers int
+	// SampleWorkers bounds the within-step sample parallelism of the
+	// tree-engine estimators: each estimation worker partitions one
+	// step's samples across this many goroutines, so a single huge-m
+	// step no longer serialises on one core. 0 or 1 keeps within-step
+	// estimation serial (allocation-free in steady state). Estimates are
+	// bit-identical for every setting; at peak Workers × SampleWorkers
+	// goroutines estimate concurrently.
+	SampleWorkers int
 	// RetainEnsemble keeps the raw trajectories in Result.Ensemble (for
 	// snapshot figures and trajectory analyses). Off by default: the
 	// streaming pipeline then never materialises the ensemble, so peak
@@ -121,25 +129,21 @@ func (r *Result) FinalMI() float64 {
 	return r.MI[len(r.MI)-1]
 }
 
-// estimator builds the per-step estimator closure; k is the effective
-// k-NN parameter from effectiveK, so validation and estimation can never
-// disagree about its value.
-func (p Pipeline) estimator(k int) (infotheory.Estimator, error) {
+// estimatorFor builds the per-step estimator closure bound to one
+// worker's tree engine; k is the effective k-NN parameter from
+// effectiveK, so validation and estimation can never disagree about its
+// value. With a nil engine it only validates the estimator kind (the
+// returned closure must not be called).
+func (p Pipeline) estimatorFor(k int, eng *infotheory.Engine) (infotheory.Estimator, error) {
 	switch p.Estimator {
 	case "", EstKSG2:
-		return func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoKSGVariant(d, k, infotheory.KSG2)
-		}, nil
+		return eng.KSGVariantEstimator(k, infotheory.KSG2), nil
 	case EstKSGPaper:
-		return func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoKSGVariant(d, k, infotheory.KSGPaper)
-		}, nil
+		return eng.KSGVariantEstimator(k, infotheory.KSGPaper), nil
 	case EstKSG1:
-		return func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoKSGVariant(d, k, infotheory.KSG1)
-		}, nil
+		return eng.KSGVariantEstimator(k, infotheory.KSG1), nil
 	case EstKernel:
-		return infotheory.MultiInfoKernel, nil
+		return eng.MultiInfoKernel, nil
 	case EstBinned:
 		return func(d *infotheory.Dataset) float64 {
 			return infotheory.MultiInfoBinned(d, infotheory.BinnedOptions{Bins: p.Bins})
@@ -191,18 +195,19 @@ func (p Pipeline) Run() (*Result, error) {
 			return nil, fmt.Errorf("experiment: K (%d) must be smaller than the ensemble size M (%d)", p.K, p.Ensemble.M)
 		}
 	}
-	est, err := p.estimator(effK)
-	if err != nil {
+	// Validate the estimator kind once up front; the per-step closures
+	// are built per estimation worker, each bound to its own engine.
+	if _, err := p.estimatorFor(effK, nil); err != nil {
 		return nil, err
 	}
 	if !p.Observer.Streamable() {
-		return p.runBatch(est, effK)
+		return p.runBatch(effK)
 	}
-	return p.runStreamed(est, effK)
+	return p.runStreamed(effK)
 }
 
 // runStreamed is the streaming pipeline behind Run.
-func (p Pipeline) runStreamed(est infotheory.Estimator, effK int) (*Result, error) {
+func (p Pipeline) runStreamed(effK int) (*Result, error) {
 	ec, err := p.Ensemble.Normalized()
 	if err != nil {
 		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
@@ -266,7 +271,7 @@ func (p Pipeline) runStreamed(est infotheory.Estimator, effK int) (*Result, erro
 	}
 
 	// Stage 3 starts before stage 2 so estimation overlaps simulation.
-	estWG := p.startEstimators(res, acc.Datasets(), infotheory.GroupsByLabel(acc.Labels()), est, effK, ready)
+	estWG := p.startEstimators(res, acc.Datasets(), infotheory.GroupsByLabel(acc.Labels()), effK, ready)
 
 	// Stage 2: the remaining samples stream through inline alignment.
 	_, simErr := sim.StreamSamples(ec, 1, ec.M, func(f sim.Frame) error {
@@ -292,7 +297,7 @@ func (p Pipeline) runStreamed(est infotheory.Estimator, effK int) (*Result, erro
 // runBatch materialises the full ensemble and an aligned copy before
 // estimating — required by the medoid alignment reference, and kept as the
 // reference implementation the streaming path is tested against.
-func (p Pipeline) runBatch(est infotheory.Estimator, effK int) (*Result, error) {
+func (p Pipeline) runBatch(effK int) (*Result, error) {
 	ens, err := sim.RunEnsemble(p.Ensemble)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
@@ -331,14 +336,17 @@ func (p Pipeline) runBatch(est infotheory.Estimator, effK int) (*Result, error) 
 		ready <- t
 	}
 	close(ready)
-	p.startEstimators(res, obs.Datasets, obs.Groups(), est, effK, ready).Wait()
+	p.startEstimators(res, obs.Datasets, obs.Groups(), effK, ready).Wait()
 	return res, nil
 }
 
 // startEstimators launches the estimation stage: workers consume completed
 // step indices from ready until it closes, writing MI (and optionally the
-// decomposition and entropy profiles) into disjoint slots of res.
-func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, groups [][]int, est infotheory.Estimator, effK int, ready <-chan int) *sync.WaitGroup {
+// decomposition and entropy profiles) into disjoint slots of res. Each
+// worker owns one tree engine — its k-d trees and scratch stores are
+// recycled across the steps it consumes — and fans one step's samples out
+// across SampleWorkers goroutines.
+func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, groups [][]int, effK int, ready <-chan int) *sync.WaitGroup {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -351,13 +359,16 @@ func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, g
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eng := infotheory.NewEngine(p.SampleWorkers)
+			// The kind was validated in Run; the error is impossible here.
+			est, _ := p.estimatorFor(effK, eng)
 			for t := range ready {
 				res.MI[t] = est(datasets[t])
 				if p.Decompose {
 					res.Decomp[t] = infotheory.Decompose(datasets[t], groups, est)
 				}
 				if p.TrackEntropies {
-					res.Entropies[t] = infotheory.Entropies(datasets[t], effK)
+					res.Entropies[t] = eng.Entropies(datasets[t], effK)
 				}
 			}
 		}()

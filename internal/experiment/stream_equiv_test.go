@@ -78,18 +78,18 @@ func TestStreamedPipelineMatchesBatchEverywhere(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			p := mut(equivPipeline())
 			effK, _ := p.effectiveK()
-			est, err := p.estimator(effK)
+			batch, err := p.runBatch(effK)
 			if err != nil {
 				t.Fatal(err)
 			}
-			batch, err := p.runBatch(est, effK)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, w := range [][2]int{{1, 1}, {2, 3}, {5, 2}, {16, 16}} {
+			// The third knob is SampleWorkers: within-step sample
+			// parallelism of the estimator engine must leave every
+			// output bit-identical too.
+			for _, w := range [][3]int{{1, 1, 0}, {2, 3, 1}, {5, 2, 3}, {16, 16, 4}} {
 				pw := p
 				pw.Ensemble.Workers = w[0]
 				pw.Workers = w[1]
+				pw.SampleWorkers = w[2]
 				streamed, err := pw.Run()
 				if err != nil {
 					t.Fatal(err)
@@ -113,11 +113,7 @@ func TestStreamedPipelineQuickScaleFig4(t *testing.T) {
 		Ensemble: sim.EnsembleConfig{Sim: Fig4Params(), M: sc.M, Steps: sc.Steps, RecordEvery: sc.RecordEvery, Seed: 2012},
 	}
 	effK, _ := p.effectiveK()
-	est, err := p.estimator(effK)
-	if err != nil {
-		t.Fatal(err)
-	}
-	batch, err := p.runBatch(est, effK)
+	batch, err := p.runBatch(effK)
 	if err != nil {
 		t.Fatal(err)
 	}

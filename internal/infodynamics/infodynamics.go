@@ -19,19 +19,12 @@ package infodynamics
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
+	"repro/internal/knn"
 	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/vec"
 )
-
-// point is a flattened sample of the joint (target-future, source-past,
-// target-past) triple.
-type point struct {
-	x, y, z []float64
-}
 
 // ConditionalMutualInfo estimates I(X;Y|Z) in bits from pooled samples
 // with the Frenzel–Pompe k-NN estimator:
@@ -40,8 +33,15 @@ type point struct {
 //
 // where the counts are taken strictly inside the max-norm distance to the
 // k-th neighbour in the full joint space. xs, ys, zs must have equal
-// length ≥ k+2; each sample is a vector (dimensions may differ between the
-// three roles but must be consistent within one role).
+// length ≥ k+2; each sample is a non-empty vector whose dimension is
+// consistent within one role (dimensions may differ between roles).
+//
+// The k-th-neighbour searches and the three subspace counts run on the
+// shared tree engine (package knn) under the Chebyshev metric: one joint
+// tree over the flattened (x,y,z) rows and one range-count tree each for
+// the (z), (x,z) and (y,z) subspaces — the same four-structure layout
+// JIDT-style implementations use — replacing the former private O(m²)
+// sort-based sweep, with bit-identical results.
 func ConditionalMutualInfo(xs, ys, zs [][]float64, k int) (float64, error) {
 	m := len(xs)
 	if len(ys) != m || len(zs) != m {
@@ -50,61 +50,54 @@ func ConditionalMutualInfo(xs, ys, zs [][]float64, k int) (float64, error) {
 	if k < 1 || m < k+2 {
 		return 0, fmt.Errorf("infodynamics: need at least k+2 = %d samples, have %d", k+2, m)
 	}
-	pts := make([]point, m)
-	for i := range pts {
-		pts[i] = point{xs[i], ys[i], zs[i]}
+	dx, dy, dz := len(xs[0]), len(ys[0]), len(zs[0])
+	if dx == 0 || dy == 0 || dz == 0 {
+		return 0, fmt.Errorf("infodynamics: empty sample vectors (dims %d/%d/%d)", dx, dy, dz)
+	}
+	for i := 0; i < m; i++ {
+		if len(xs[i]) != dx || len(ys[i]) != dy || len(zs[i]) != dz {
+			return 0, fmt.Errorf("infodynamics: sample %d has dims %d/%d/%d, want %d/%d/%d",
+				i, len(xs[i]), len(ys[i]), len(zs[i]), dx, dy, dz)
+		}
 	}
 
-	maxDist := func(a, b []float64) float64 {
-		var worst float64
-		for i := range a {
-			if d := math.Abs(a[i] - b[i]); d > worst {
-				worst = d
-			}
-		}
-		return worst
+	// Flatten the joint [x|y|z] rows and the three count subspaces. Under
+	// the max-norm, the joint metric of the former private sweep (max of
+	// the per-role max-norms) is exactly the Chebyshev distance on the
+	// concatenated row, and a strict (x,z)-count is a strict Chebyshev
+	// count on the [x|z] rows.
+	dim := dx + dy + dz
+	joint := make([]float64, m*dim)
+	zPts := make([]float64, m*dz)
+	xzPts := make([]float64, m*(dx+dz))
+	yzPts := make([]float64, m*(dy+dz))
+	for i := 0; i < m; i++ {
+		row := joint[i*dim : (i+1)*dim]
+		copy(row, xs[i])
+		copy(row[dx:], ys[i])
+		copy(row[dx+dy:], zs[i])
+		copy(zPts[i*dz:], zs[i])
+		xz := xzPts[i*(dx+dz) : (i+1)*(dx+dz)]
+		copy(xz, xs[i])
+		copy(xz[dx:], zs[i])
+		yz := yzPts[i*(dy+dz) : (i+1)*(dy+dz)]
+		copy(yz, ys[i])
+		copy(yz[dy:], zs[i])
 	}
-	jointDist := func(a, b point) float64 {
-		d := maxDist(a.x, b.x)
-		if dy := maxDist(a.y, b.y); dy > d {
-			d = dy
-		}
-		if dz := maxDist(a.z, b.z); dz > d {
-			d = dz
-		}
-		return d
-	}
+	var jointTree, zTree, xzTree, yzTree knn.Tree
+	jointTree.Rebuild(joint, m, dim, knn.Chebyshev, nil)
+	zTree.Rebuild(zPts, m, dz, knn.Chebyshev, nil)
+	xzTree.Rebuild(xzPts, m, dx+dz, knn.Chebyshev, nil)
+	yzTree.Rebuild(yzPts, m, dy+dz, knn.Chebyshev, nil)
 
 	var acc mathx.KahanSum
-	dists := make([]float64, 0, m-1)
+	neigh := make([]knn.Neighbor, 0, k)
 	for i := 0; i < m; i++ {
-		dists = dists[:0]
-		for j := 0; j < m; j++ {
-			if j == i {
-				continue
-			}
-			dists = append(dists, jointDist(pts[i], pts[j]))
-		}
-		sort.Float64s(dists)
-		eps := dists[k-1]
-
-		var nXZ, nYZ, nZ int
-		for j := 0; j < m; j++ {
-			if j == i {
-				continue
-			}
-			dz := maxDist(pts[i].z, pts[j].z)
-			if dz >= eps {
-				continue
-			}
-			nZ++
-			if maxDist(pts[i].x, pts[j].x) < eps {
-				nXZ++
-			}
-			if maxDist(pts[i].y, pts[j].y) < eps {
-				nYZ++
-			}
-		}
+		neigh = jointTree.KNearest(joint[i*dim:(i+1)*dim], k, int32(i), neigh)
+		eps := neigh[k-1].Dist
+		nZ := zTree.CountWithin(zPts[i*dz:(i+1)*dz], eps, false, int32(i))
+		nXZ := xzTree.CountWithin(xzPts[i*(dx+dz):(i+1)*(dx+dz)], eps, false, int32(i))
+		nYZ := yzTree.CountWithin(yzPts[i*(dy+dz):(i+1)*(dy+dz)], eps, false, int32(i))
 		acc.Add(mathx.Digamma(float64(nZ+1)) -
 			mathx.Digamma(float64(nXZ+1)) -
 			mathx.Digamma(float64(nYZ+1)))

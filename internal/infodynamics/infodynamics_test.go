@@ -3,9 +3,11 @@ package infodynamics
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 	"testing"
 
 	"repro/internal/forces"
+	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/vec"
 )
@@ -210,5 +212,135 @@ func TestPairTransferZeroForNonInteractingParticles(t *testing.T) {
 	// signal.
 	if math.Abs(te) > 0.15 {
 		t.Fatalf("TE between non-interacting particles = %v, want ≈ 0", te)
+	}
+}
+
+// bruteConditionalMutualInfo is the pre-engine Frenzel–Pompe
+// implementation (full joint-distance sort per sample, O(m²) sweeps),
+// retained verbatim as the reference the shared knn-tree path must
+// reproduce bit for bit.
+func bruteConditionalMutualInfo(xs, ys, zs [][]float64, k int) float64 {
+	m := len(xs)
+	type point struct{ x, y, z []float64 }
+	pts := make([]point, m)
+	for i := range pts {
+		pts[i] = point{xs[i], ys[i], zs[i]}
+	}
+	maxDist := func(a, b []float64) float64 {
+		var worst float64
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	jointDist := func(a, b point) float64 {
+		d := maxDist(a.x, b.x)
+		if dy := maxDist(a.y, b.y); dy > d {
+			d = dy
+		}
+		if dz := maxDist(a.z, b.z); dz > d {
+			d = dz
+		}
+		return d
+	}
+	var acc mathx.KahanSum
+	dists := make([]float64, 0, m-1)
+	for i := 0; i < m; i++ {
+		dists = dists[:0]
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			dists = append(dists, jointDist(pts[i], pts[j]))
+		}
+		sort.Float64s(dists)
+		eps := dists[k-1]
+		var nXZ, nYZ, nZ int
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			dz := maxDist(pts[i].z, pts[j].z)
+			if dz >= eps {
+				continue
+			}
+			nZ++
+			if maxDist(pts[i].x, pts[j].x) < eps {
+				nXZ++
+			}
+			if maxDist(pts[i].y, pts[j].y) < eps {
+				nYZ++
+			}
+		}
+		acc.Add(mathx.Digamma(float64(nZ+1)) -
+			mathx.Digamma(float64(nXZ+1)) -
+			mathx.Digamma(float64(nYZ+1)))
+	}
+	return mathx.Log2(mathx.Digamma(float64(k)) + acc.Sum()/float64(m))
+}
+
+// Property: the knn-tree ConditionalMutualInfo reproduces the retained
+// brute-force sweep bit for bit, on data with deliberate ties and
+// duplicated samples (including the degenerate constant-z conditioning of
+// ActiveStorage).
+func TestConditionalMutualInfoMatchesBruteExactly(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 0))
+	draw := func(m, dim int, constant bool) [][]float64 {
+		out := make([][]float64, m)
+		for i := range out {
+			row := make([]float64, dim)
+			for c := range row {
+				switch {
+				case constant:
+					row[c] = 0
+				case r.IntN(3) == 0:
+					row[c] = float64(r.IntN(3)) // exact ties
+				default:
+					row[c] = r.NormFloat64()
+				}
+			}
+			out[i] = row
+		}
+		// Duplicate a few rows to force zero joint distances.
+		for d := 0; d < m/8; d++ {
+			out[r.IntN(m)] = out[r.IntN(m)]
+		}
+		return out
+	}
+	for trial := 0; trial < 60; trial++ {
+		m := 10 + r.IntN(60)
+		k := 1 + r.IntN(4)
+		if m < k+2 {
+			continue
+		}
+		xs := draw(m, 1+r.IntN(3), false)
+		ys := draw(m, 1+r.IntN(3), false)
+		zs := draw(m, 1+r.IntN(2), trial%5 == 0)
+		got, err := ConditionalMutualInfo(xs, ys, zs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteConditionalMutualInfo(xs, ys, zs, k)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d (m=%d k=%d): tree CMI %v, brute %v", trial, m, k, got, want)
+		}
+	}
+}
+
+// The new dimension validation must reject ragged inputs with an error
+// instead of the old deep-slice panic.
+func TestConditionalMutualInfoRaggedInput(t *testing.T) {
+	xs := [][]float64{{1, 2}, {3}}
+	ys := [][]float64{{1}, {2}}
+	zs := [][]float64{{0}, {0}}
+	if _, err := ConditionalMutualInfo(xs, ys, zs, 1); err == nil {
+		t.Fatal("ragged x vectors accepted")
+	}
+	empty := [][]float64{{}, {}, {}, {}}
+	one := [][]float64{{0}, {0}, {0}, {0}}
+	if _, err := ConditionalMutualInfo(empty, one, one, 1); err == nil {
+		t.Fatal("empty x vectors accepted")
 	}
 }

@@ -114,11 +114,21 @@ func FromFrames(frames [][]vec.Vec2) *Dataset {
 	return d
 }
 
+// checkVar panics with a clear message when v is not a valid variable
+// index of the dataset; op names the calling method.
+func (d *Dataset) checkVar(op string, v int) {
+	if v < 0 || v >= len(d.dims) {
+		panic(fmt.Sprintf("infotheory: %s: variable index %d out of range [0,%d)", op, v, len(d.dims)))
+	}
+}
+
 // Select returns a new dataset containing only the given variables, in the
-// given order. Data is copied.
+// given order (repeats are allowed and copy the variable again). Data is
+// copied. It panics on an out-of-range variable index.
 func (d *Dataset) Select(vars []int) *Dataset {
 	dims := make([]int, len(vars))
 	for i, v := range vars {
+		d.checkVar("Select", v)
 		dims[i] = d.dims[v]
 	}
 	out := NewDataset(d.m, dims)
@@ -135,11 +145,20 @@ func (d *Dataset) Select(vars []int) *Dataset {
 // This constructs the coarse-grained observers X̃ of Sec. 3.1. Every
 // original variable must appear in exactly one group for the result to be a
 // valid observer set; this is not enforced so that callers may also build
-// partial views.
+// partial views. It panics on an out-of-range variable index or on a
+// variable repeated within one group (a repeat across groups is a legal
+// partial view; a repeat inside a group is always a caller bug — the
+// merged observer would duplicate coordinates).
 func (d *Dataset) Grouped(groups [][]int) *Dataset {
 	dims := make([]int, len(groups))
 	for g, members := range groups {
-		for _, v := range members {
+		for i, v := range members {
+			d.checkVar("Grouped", v)
+			for _, w := range members[:i] {
+				if w == v {
+					panic(fmt.Sprintf("infotheory: Grouped: variable %d repeated in group %d", v, g))
+				}
+			}
 			dims[g] += d.dims[v]
 		}
 	}
@@ -171,15 +190,23 @@ func (d *Dataset) varDist2(a, b, v int) float64 {
 	return s
 }
 
-// jointDist returns the paper's joint metric between samples a and b
-// (Eq. 19): the maximum over variables of the per-variable Euclidean
-// distance.
-func (d *Dataset) jointDist(a, b int) float64 {
+// jointDist2 returns the square of the paper's joint metric between
+// samples a and b (Eq. 19): the maximum over variables of the
+// per-variable squared Euclidean distance. Neighbour selection compares
+// squared distances throughout — sqrt is order-preserving, and staying in
+// squared space keeps the (distance, index) ordering unambiguous for the
+// engine/brute equivalence contract.
+func (d *Dataset) jointDist2(a, b int) float64 {
 	var worst float64
 	for v := range d.dims {
 		if d2 := d.varDist2(a, b, v); d2 > worst {
 			worst = d2
 		}
 	}
-	return sqrt(worst)
+	return worst
+}
+
+// jointDist is the Eq. (19) metric itself, √jointDist2.
+func (d *Dataset) jointDist(a, b int) float64 {
+	return sqrt(d.jointDist2(a, b))
 }

@@ -1,6 +1,7 @@
 package infotheory
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/vec"
@@ -129,5 +130,55 @@ func TestJointDistIsMaxOverVariables(t *testing.T) {
 	}
 	if got := d.varDist2(0, 1, 1); got != 1 {
 		t.Fatalf("varDist2 = %v", got)
+	}
+}
+
+// mustPanicContaining runs f and requires it to panic with a message
+// containing want.
+func mustPanicContaining(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic; want one mentioning %q", want)
+			return
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Errorf("panic %v; want one mentioning %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestSelectValidatesVariableIndices(t *testing.T) {
+	d := NewDataset(3, []int{2, 1, 2})
+	mustPanicContaining(t, "Select: variable index 3 out of range [0,3)", func() {
+		d.Select([]int{0, 3})
+	})
+	mustPanicContaining(t, "Select: variable index -1 out of range [0,3)", func() {
+		d.Select([]int{-1})
+	})
+	// Repeats are documented as legal in Select.
+	if got := d.Select([]int{1, 1}); got.NumVars() != 2 {
+		t.Errorf("Select with repeats: %d vars, want 2", got.NumVars())
+	}
+}
+
+func TestGroupedValidatesMembers(t *testing.T) {
+	d := NewDataset(3, []int{2, 1, 2})
+	mustPanicContaining(t, "Grouped: variable index 5 out of range [0,3)", func() {
+		d.Grouped([][]int{{0}, {5}})
+	})
+	mustPanicContaining(t, "Grouped: variable index -2 out of range [0,3)", func() {
+		d.Grouped([][]int{{-2}})
+	})
+	mustPanicContaining(t, "Grouped: variable 1 repeated in group 0", func() {
+		d.Grouped([][]int{{1, 2, 1}})
+	})
+	// The same variable in two different groups is a legal partial view.
+	g := d.Grouped([][]int{{0, 1}, {1, 2}})
+	if g.NumVars() != 2 || g.Dim(0) != 3 || g.Dim(1) != 3 {
+		t.Errorf("cross-group repeat rejected: got %d vars, dims %d/%d", g.NumVars(), g.Dim(0), g.Dim(1))
 	}
 }

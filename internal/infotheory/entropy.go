@@ -21,9 +21,25 @@ import (
 // entropy of the collective falling faster than the marginal observer
 // entropies.
 //
-// Duplicate samples (ε = 0) are displaced to a tiny floor to keep the
-// estimate finite.
+// Duplicate samples make ε_s = 0 and log ε_s undefined. The rule: a zero
+// ε_s is clamped to the smallest positive k-th-neighbour distance
+// observed in the dataset — the finest resolution the data actually
+// exhibits — so a single duplicated pair shifts the mean by one
+// in-distribution term instead of injecting a ≈ −10³-bit outlier (the
+// old 1e-300 floor). If every sample's ε is zero the distribution is
+// (empirically) purely atomic and the differential entropy is −Inf.
+//
+// It runs on a fresh tree engine; reuse an Engine to amortise the scratch
+// storage across calls.
 func DifferentialEntropyKL(d *Dataset, vars []int, k int) float64 {
+	var e Engine
+	return e.DifferentialEntropyKL(d, vars, k)
+}
+
+// differentialEntropyKLBrute is the retained brute-force reference
+// (O(m²·D) sweeps with a full sort per sample); the engine must
+// reproduce it bit for bit.
+func differentialEntropyKLBrute(d *Dataset, vars []int, k int) float64 {
 	m := d.NumSamples()
 	if k < 1 || k >= m {
 		panic("infotheory: KL entropy needs 1 <= k < m")
@@ -41,8 +57,7 @@ func DifferentialEntropyKL(d *Dataset, vars []int, k int) float64 {
 		rows[s] = row
 	}
 
-	logBall := logUnitBallVolume(D)
-	var sumLogEps mathx.KahanSum
+	eps := make([]float64, m)
 	dists := make([]float64, 0, m-1)
 	for s := 0; s < m; s++ {
 		dists = dists[:0]
@@ -58,14 +73,39 @@ func DifferentialEntropyKL(d *Dataset, vars []int, k int) float64 {
 			dists = append(dists, d2)
 		}
 		sort.Float64s(dists)
-		eps := math.Sqrt(dists[k-1])
-		if eps <= 0 {
-			eps = 1e-300
+		eps[s] = math.Sqrt(dists[k-1])
+	}
+	return klReduce(eps, k, D)
+}
+
+// klReduce finishes the Kozachenko–Leonenko estimate from the per-sample
+// k-th-neighbour distances, applying the duplicate rule documented on
+// DifferentialEntropyKL. Both the brute reference and the tree engine end
+// in this exact reduction (fixed summation order), which is what makes
+// their results — and the engine's results for any Workers setting —
+// bit-identical.
+func klReduce(eps []float64, k, D int) float64 {
+	m := len(eps)
+	minPos := math.Inf(1)
+	for _, e := range eps {
+		if e > 0 && e < minPos {
+			minPos = e
 		}
-		sumLogEps.Add(math.Log(eps))
+	}
+	if math.IsInf(minPos, 1) {
+		// Every sample has ≥ k exact duplicates: the empirical
+		// distribution is purely atomic.
+		return math.Inf(-1)
+	}
+	var sumLogEps mathx.KahanSum
+	for _, e := range eps {
+		if e <= 0 {
+			e = minPos
+		}
+		sumLogEps.Add(math.Log(e))
 	}
 	nats := mathx.Digamma(float64(m)) - mathx.Digamma(float64(k)) +
-		logBall + float64(D)*sumLogEps.Sum()/float64(m)
+		logUnitBallVolume(D) + float64(D)*sumLogEps.Sum()/float64(m)
 	return mathx.Log2(nats)
 }
 
@@ -97,14 +137,6 @@ func (p EntropyProfile) MultiInfo() float64 { return p.MarginalSum - p.Joint }
 // over time the marginal entropies decrease, however the overall entropy
 // decreases even faster".
 func Entropies(d *Dataset, k int) EntropyProfile {
-	all := make([]int, d.NumVars())
-	for v := range all {
-		all[v] = v
-	}
-	var p EntropyProfile
-	p.Joint = DifferentialEntropyKL(d, all, k)
-	for v := 0; v < d.NumVars(); v++ {
-		p.MarginalSum += DifferentialEntropyKL(d, []int{v}, k)
-	}
-	return p
+	var e Engine
+	return e.Entropies(d, k)
 }

@@ -1,0 +1,10 @@
+package infotheory
+
+// Test-only exports of the retained brute-force reference
+// implementations, so external test packages can hold the whole pipeline
+// to the engine/brute equivalence contract.
+var (
+	MultiInfoKSGBruteForTest          = multiInfoKSGBrute
+	DifferentialEntropyKLBruteForTest = differentialEntropyKLBrute
+	KernelEntropyBruteForTest         = kernelEntropyBrute
+)

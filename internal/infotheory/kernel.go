@@ -18,25 +18,19 @@ import (
 //
 // This is the kernel baseline of Sec. 5.3: the paper reports it to be
 // orders of magnitude slower and higher-variance in high dimension than
-// KSG, which BenchmarkEstimatorComparison reproduces. Cost is O(m²·D).
+// KSG, which BenchmarkEstimatorComparison reproduces. Cost is O(m²·D) —
+// every pair contributes to the dense kernel sum, so unlike the k-NN
+// estimators no tree applies; the Engine version recycles the scratch
+// buffers and spreads samples across workers.
 func MultiInfoKernel(d *Dataset) float64 {
-	if d.NumVars() < 2 {
-		return 0
-	}
-	var sum float64
-	for v := 0; v < d.NumVars(); v++ {
-		sum += kernelEntropy(d, []int{v})
-	}
-	all := make([]int, d.NumVars())
-	for v := range all {
-		all[v] = v
-	}
-	return sum - kernelEntropy(d, all)
+	var e Engine
+	return e.MultiInfoKernel(d)
 }
 
-// kernelEntropy returns the leave-one-out KDE differential entropy (bits)
-// of the joint distribution of the given variables.
-func kernelEntropy(d *Dataset, vars []int) float64 {
+// kernelEntropyBrute is the retained reference implementation of the
+// leave-one-out KDE differential entropy (bits) of the joint distribution
+// of the given variables; the engine must reproduce it bit for bit.
+func kernelEntropyBrute(d *Dataset, vars []int) float64 {
 	m := d.NumSamples()
 	if m < 2 {
 		return 0

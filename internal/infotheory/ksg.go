@@ -70,8 +70,23 @@ func MultiInfoKSG(d *Dataset, k int) float64 {
 
 // MultiInfoKSGVariant is MultiInfoKSG with an explicit variant selection;
 // the variants agree asymptotically and differ by small-sample bias (see
-// the ablation benchmark BenchmarkAblationKSGVariants).
+// the ablation benchmark BenchmarkAblationKSGVariants). It runs on a
+// fresh tree engine; reuse an Engine to amortise the scratch storage
+// across calls.
 func MultiInfoKSGVariant(d *Dataset, k int, variant KSGVariant) float64 {
+	var e Engine
+	return e.MultiInfoKSGVariant(d, k, variant)
+}
+
+// multiInfoKSGBrute is the retained brute-force reference: O(m²·n)
+// distance sweeps with a full (distance, index) sort per sample. The
+// engine is required to reproduce it bit for bit (the equivalence
+// property tests and BenchmarkKSGScaling run both). Neighbour ordering
+// compares squared joint distances — sqrt is order-preserving but can
+// round distinct squared distances to equal values, so comparing in
+// squared space is what keeps one unambiguous (distance, index) order for
+// both paths.
+func multiInfoKSGBrute(d *Dataset, k int, variant KSGVariant) float64 {
 	m := d.NumSamples()
 	n := d.NumVars()
 	if n < 2 {
@@ -89,26 +104,26 @@ func MultiInfoKSGVariant(d *Dataset, k int, variant KSGVariant) float64 {
 
 	// Scratch reused across samples.
 	type nb struct {
-		idx  int
-		dist float64
+		idx   int
+		dist2 float64
 	}
 	neigh := make([]nb, 0, m-1)
 	var psiSum mathx.KahanSum
 
 	for s := 0; s < m; s++ {
-		// Pass 1: joint distances to all other samples; select the k
-		// nearest. With k ≪ m a full sort is wasteful but m ≤ ~1000
-		// keeps this comfortably cheap and deterministic.
+		// Pass 1: squared joint distances to all other samples; select
+		// the k nearest. With k ≪ m a full sort is wasteful — the tree
+		// engine replaces it with bounded-heap queries.
 		neigh = neigh[:0]
 		for t := 0; t < m; t++ {
 			if t == s {
 				continue
 			}
-			neigh = append(neigh, nb{t, d.jointDist(s, t)})
+			neigh = append(neigh, nb{t, d.jointDist2(s, t)})
 		}
 		sort.Slice(neigh, func(a, b int) bool {
-			if neigh[a].dist != neigh[b].dist {
-				return neigh[a].dist < neigh[b].dist
+			if neigh[a].dist2 != neigh[b].dist2 {
+				return neigh[a].dist2 < neigh[b].dist2
 			}
 			return neigh[a].idx < neigh[b].idx
 		})
@@ -124,7 +139,8 @@ func MultiInfoKSGVariant(d *Dataset, k int, variant KSGVariant) float64 {
 			case KSG1:
 				// Joint k-th neighbour distance (max-norm
 				// ball radius).
-				radius2 = neigh[k-1].dist * neigh[k-1].dist
+				dist := sqrt(neigh[k-1].dist2)
+				radius2 = dist * dist
 			case KSG2:
 				// Largest v-marginal distance among the k
 				// nearest joint neighbours.

@@ -1,0 +1,100 @@
+package infotheory_test
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/forces"
+	"repro/internal/infotheory"
+	"repro/internal/sim"
+)
+
+// TestPipelineMatchesBruteEstimators mirrors the streamed-vs-batch
+// equivalence suite one layer down: a full pipeline run (which estimates
+// on per-worker tree engines) must produce, step for step and bit for
+// bit, what the retained brute-force estimators compute on the same
+// aligned datasets — MI, the Eq. (5) decomposition, and the entropy
+// profiles.
+func TestPipelineMatchesBruteEstimators(t *testing.T) {
+	sc := experiment.TestScale()
+	p := experiment.Pipeline{
+		Name: "engine-equiv",
+		Ensemble: sim.EnsembleConfig{
+			Sim: sim.Config{
+				N:      12,
+				Types:  sim.TypesRoundRobin(12, 2),
+				Force:  forces.MustF1(forces.ConstantMatrix(2, 1), forces.ConstantMatrix(2, 2)),
+				Cutoff: 6,
+			},
+			M:           sc.M,
+			Steps:       sc.Steps,
+			RecordEvery: sc.RecordEvery,
+			Seed:        77,
+		},
+		Decompose:      true,
+		TrackEntropies: true,
+		SampleWorkers:  3,
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = experiment.DefaultKSGK
+	brute := func(d *infotheory.Dataset) float64 {
+		return infotheory.MultiInfoKSGBruteForTest(d, k, infotheory.KSG2)
+	}
+	groups := infotheory.GroupsByLabel(res.Labels)
+	for ti := range res.Times {
+		d := res.Observers.Datasets[ti]
+		if got, want := res.MI[ti], brute(d); got != want {
+			t.Errorf("step %d: pipeline MI %v, brute %v", res.Times[ti], got, want)
+		}
+		wantDec := infotheory.Decompose(d, groups, brute)
+		gotDec := res.Decomp[ti]
+		if gotDec.Between != wantDec.Between {
+			t.Errorf("step %d: pipeline Between %v, brute %v", res.Times[ti], gotDec.Between, wantDec.Between)
+		}
+		for g := range wantDec.Within {
+			if gotDec.Within[g] != wantDec.Within[g] {
+				t.Errorf("step %d group %d: pipeline Within %v, brute %v", res.Times[ti], g, gotDec.Within[g], wantDec.Within[g])
+			}
+		}
+		var wantProf infotheory.EntropyProfile
+		all := make([]int, d.NumVars())
+		for v := range all {
+			all[v] = v
+		}
+		wantProf.Joint = infotheory.DifferentialEntropyKLBruteForTest(d, all, k)
+		for v := 0; v < d.NumVars(); v++ {
+			wantProf.MarginalSum += infotheory.DifferentialEntropyKLBruteForTest(d, []int{v}, k)
+		}
+		if res.Entropies[ti] != wantProf {
+			t.Errorf("step %d: pipeline entropies %+v, brute %+v", res.Times[ti], res.Entropies[ti], wantProf)
+		}
+	}
+
+	// The kernel baseline through the same pipeline, against the brute
+	// kernel-entropy composition.
+	p.Estimator = experiment.EstKernel
+	p.Decompose = false
+	p.TrackEntropies = false
+	kres, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range kres.Times {
+		d := kres.Observers.Datasets[ti]
+		var want float64
+		for v := 0; v < d.NumVars(); v++ {
+			want += infotheory.KernelEntropyBruteForTest(d, []int{v})
+		}
+		all := make([]int, d.NumVars())
+		for v := range all {
+			all[v] = v
+		}
+		want -= infotheory.KernelEntropyBruteForTest(d, all)
+		if kres.MI[ti] != want {
+			t.Errorf("step %d: pipeline kernel MI %v, brute %v", kres.Times[ti], kres.MI[ti], want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package infotheory
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scalingDataset draws m samples of n 2-D observer variables with a
+// shared latent component, the shape of one pipeline time step: the
+// variables are correlated (MI > 0) so neighbour radii and marginal
+// counts look like real aligned-ensemble data rather than pure noise.
+func scalingDataset(m, n int, seed int64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	dims := make([]int, n)
+	for v := range dims {
+		dims[v] = 2
+	}
+	d := NewDataset(m, dims)
+	for s := 0; s < m; s++ {
+		lx, ly := r.NormFloat64(), r.NormFloat64()
+		for v := 0; v < n; v++ {
+			vals := d.Var(s, v)
+			vals[0] = lx + 0.7*r.NormFloat64()
+			vals[1] = ly + 0.7*r.NormFloat64()
+		}
+	}
+	return d
+}
+
+var scalingSink float64
+
+// BenchmarkKSGScaling is the estimator-engine trajectory benchmark: the
+// default pipeline estimator (KSG-2, k = 4) on one time-step-shaped
+// dataset, brute vs tree, across the ensemble sizes of the roadmap
+// (M = 128 quick scale, 500 paper scale, 2000/5000 beyond). The tree
+// engine is warmed before timing, so its B/op column demonstrates the
+// steady-state 0 allocs/op contract; the brute rows document the O(m²)
+// wall the engine removes. CI uploads this output as the ksg-scaling
+// artifact; EXPERIMENTS.md holds a reference table.
+func BenchmarkKSGScaling(b *testing.B) {
+	const n, k = 8, DefaultBenchK
+	for _, m := range []int{128, 500, 2000, 5000} {
+		d := scalingDataset(m, n, int64(m))
+		b.Run(fmt.Sprintf("tree/m=%d", m), func(b *testing.B) {
+			e := NewEngine(0)
+			scalingSink = e.MultiInfoKSGVariant(d, k, KSG2) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scalingSink = e.MultiInfoKSGVariant(d, k, KSG2)
+			}
+		})
+		b.Run(fmt.Sprintf("brute/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scalingSink = multiInfoKSGBrute(d, k, KSG2)
+			}
+		})
+	}
+}
+
+// DefaultBenchK mirrors experiment.DefaultKSGK without importing the
+// experiment package (which would cycle).
+const DefaultBenchK = 4
+
+// BenchmarkKLScaling tracks the entropy-profile path (Kozachenko–
+// Leonenko joint entropy) on the same datasets; TrackEntropies pipelines
+// spend most of their estimation budget here.
+func BenchmarkKLScaling(b *testing.B) {
+	const n, k = 8, DefaultBenchK
+	for _, m := range []int{128, 500, 2000} {
+		d := scalingDataset(m, n, int64(m))
+		all := make([]int, n)
+		for v := range all {
+			all[v] = v
+		}
+		b.Run(fmt.Sprintf("tree/m=%d", m), func(b *testing.B) {
+			e := NewEngine(0)
+			scalingSink = e.DifferentialEntropyKL(d, all, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scalingSink = e.DifferentialEntropyKL(d, all, k)
+			}
+		})
+		b.Run(fmt.Sprintf("brute/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scalingSink = differentialEntropyKLBrute(d, all, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteDist evaluates the metric with the reference floating-point
+// expression: sequential per-block sums in coordinate order, maxed across
+// blocks (or max |Δ| for Chebyshev).
+func bruteDist(pts []float64, dim int, metric Metric, blocks []Block, a, b int) float64 {
+	pa := pts[a*dim : (a+1)*dim]
+	pb := pts[b*dim : (b+1)*dim]
+	if metric == Chebyshev {
+		var worst float64
+		for i := range pa {
+			if d := math.Abs(pa[i] - pb[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	if blocks == nil {
+		blocks = []Block{{0, dim}}
+	}
+	var worst float64
+	for _, bl := range blocks {
+		var s float64
+		for i := bl.Off; i < bl.Off+bl.Len; i++ {
+			diff := pa[i] - pb[i]
+			s += diff * diff
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+func bruteKNearest(pts []float64, n, dim int, metric Metric, blocks []Block, q, k int) []Neighbor {
+	var all []Neighbor
+	for j := 0; j < n; j++ {
+		if j == q {
+			continue
+		}
+		all = append(all, Neighbor{Index: int32(j), Dist: bruteDist(pts, dim, metric, blocks, q, j)})
+	}
+	sort.Slice(all, func(a, b int) bool { return nbLess(all[a], all[b]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func bruteCount(pts []float64, n, dim int, metric Metric, blocks []Block, q int, r float64, inclusive bool) int {
+	c := 0
+	for j := 0; j < n; j++ {
+		if j == q {
+			continue
+		}
+		d := bruteDist(pts, dim, metric, blocks, q, j)
+		if d < r || (inclusive && d == r) {
+			c++
+		}
+	}
+	return c
+}
+
+// randomInstance draws a point set with deliberate duplicates and
+// coordinate collisions so the (distance, index) tie-breaking paths are
+// exercised, plus a random block structure.
+func randomInstance(r *rand.Rand) (pts []float64, n, dim int, blocks []Block) {
+	dim = 1 + r.Intn(6)
+	n = 5 + r.Intn(60)
+	pts = make([]float64, n*dim)
+	for i := range pts {
+		// A coarse grid makes exact distance ties common.
+		pts[i] = float64(r.Intn(8))
+		if r.Intn(4) == 0 {
+			pts[i] += r.Float64()
+		}
+	}
+	// Duplicate a few full rows.
+	for d := 0; d < n/8; d++ {
+		src, dst := r.Intn(n), r.Intn(n)
+		copy(pts[dst*dim:(dst+1)*dim], pts[src*dim:(src+1)*dim])
+	}
+	off := 0
+	for off < dim {
+		l := 1 + r.Intn(dim-off)
+		blocks = append(blocks, Block{off, l})
+		off += l
+	}
+	return pts, n, dim, blocks
+}
+
+// forEachMode runs f with the tree path and the flat-scan path forced in
+// turn, restoring the package default afterwards.
+func forEachMode(t *testing.T, f func(t *testing.T, wantTree bool)) {
+	t.Helper()
+	defer func(old int) { TreeDimLimit = old }(TreeDimLimit)
+	TreeDimLimit = 64
+	f(t, true)
+	TreeDimLimit = 0
+	f(t, false)
+}
+
+func TestKNearestMatchesBruteExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	forEachMode(t, func(t *testing.T, wantTree bool) {
+		var tr Tree
+		for trial := 0; trial < 200; trial++ {
+			pts, n, dim, blocks := randomInstance(r)
+			for _, metric := range []Metric{MaxEuclidean2, Chebyshev} {
+				bl := blocks
+				if metric == Chebyshev {
+					bl = nil
+				}
+				tr.Rebuild(pts, n, dim, metric, bl)
+				if tr.TreeBacked() != (wantTree && n > 0) {
+					t.Fatalf("TreeBacked = %v, want %v", tr.TreeBacked(), wantTree)
+				}
+				k := 1 + r.Intn(n)
+				var scratch []Neighbor
+				for q := 0; q < n; q++ {
+					got := tr.KNearest(rowOf(pts, dim, q), k, int32(q), scratch)
+					want := bruteKNearest(pts, n, dim, metric, bl, q, k)
+					if len(got) != len(want) {
+						t.Fatalf("metric %v k=%d q=%d: %d neighbours, want %d", metric, k, q, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("metric %v k=%d q=%d neighbour %d: got {%d %v}, want {%d %v}",
+								metric, k, q, i, got[i].Index, got[i].Dist, want[i].Index, want[i].Dist)
+						}
+					}
+					scratch = got
+				}
+			}
+		}
+	})
+}
+
+func TestCountWithinMatchesBruteExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	forEachMode(t, func(t *testing.T, wantTree bool) {
+		var tr Tree
+		for trial := 0; trial < 200; trial++ {
+			pts, n, dim, blocks := randomInstance(r)
+			for _, metric := range []Metric{MaxEuclidean2, Chebyshev} {
+				bl := blocks
+				if metric == Chebyshev {
+					bl = nil
+				}
+				tr.Rebuild(pts, n, dim, metric, bl)
+				for q := 0; q < n; q++ {
+					// Radii that exactly hit point distances probe the
+					// strict/inclusive boundary; add a couple of generic ones.
+					radii := []float64{0, r.Float64() * 10}
+					j := r.Intn(n)
+					radii = append(radii, bruteDist(pts, dim, metric, bl, q, j))
+					for _, rad := range radii {
+						for _, inclusive := range []bool{false, true} {
+							got := tr.CountWithin(rowOf(pts, dim, q), rad, inclusive, int32(q))
+							want := bruteCount(pts, n, dim, metric, bl, q, rad, inclusive)
+							if got != want {
+								t.Fatalf("metric %v q=%d r=%v inclusive=%v: count %d, want %d",
+									metric, q, rad, inclusive, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func rowOf(pts []float64, dim, j int) []float64 { return pts[j*dim : (j+1)*dim] }
+
+// Rebuilding over new data must behave exactly like a fresh tree, and in
+// steady state (same-shaped inputs) must not allocate.
+func TestRebuildReuseMatchesFreshTree(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var reused Tree
+	for trial := 0; trial < 60; trial++ {
+		pts, n, dim, blocks := randomInstance(r)
+		reused.Rebuild(pts, n, dim, MaxEuclidean2, blocks)
+		var fresh Tree
+		fresh.Rebuild(pts, n, dim, MaxEuclidean2, blocks)
+		k := 1 + r.Intn(4)
+		for q := 0; q < n; q++ {
+			a := reused.KNearest(rowOf(pts, dim, q), k, int32(q), nil)
+			b := fresh.KNearest(rowOf(pts, dim, q), k, int32(q), nil)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d q=%d: reused %d results, fresh %d", trial, q, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d q=%d: reused tree diverged from fresh tree", trial, q)
+				}
+			}
+		}
+	}
+}
+
+func TestSteadyStateRebuildAndQueryAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const n, dim, k = 256, 4, 4
+	blocks := []Block{{0, 2}, {2, 2}}
+	pts := make([]float64, n*dim)
+	var tr Tree
+	scratch := make([]Neighbor, 0, k)
+	fill := func() {
+		for i := range pts {
+			pts[i] = r.NormFloat64()
+		}
+	}
+	fill()
+	tr.Rebuild(pts, n, dim, MaxEuclidean2, blocks) // warm-up build
+	allocs := testing.AllocsPerRun(10, func() {
+		fill()
+		tr.Rebuild(pts, n, dim, MaxEuclidean2, blocks)
+		for q := 0; q < n; q++ {
+			scratch = tr.KNearest(rowOf(pts, dim, q), k, int32(q), scratch)
+			d := scratch[k-1].Dist
+			if tr.CountWithin(rowOf(pts, dim, q), d, false, int32(q)) < k-1 {
+				t.Fatal("impossible count")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state rebuild+query allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	var tr Tree
+	pts := []float64{0, 1, 2, 3}
+	tr.Rebuild(pts, 4, 1, MaxEuclidean2, nil)
+	if got := tr.KNearest([]float64{1.1}, 0, -1, nil); len(got) != 0 {
+		t.Errorf("k=0 returned %d neighbours", len(got))
+	}
+	// k larger than the point count returns everything (minus exclusions).
+	got := tr.KNearest([]float64{1.1}, 10, 1, nil)
+	if len(got) != 3 {
+		t.Errorf("k>n returned %d neighbours, want 3", len(got))
+	}
+	for _, nb := range got {
+		if nb.Index == 1 {
+			t.Errorf("excluded index returned")
+		}
+	}
+	// All-duplicate points: ties must resolve by index.
+	dup := []float64{5, 5, 5, 5}
+	tr.Rebuild(dup, 4, 1, MaxEuclidean2, nil)
+	got = tr.KNearest([]float64{5}, 2, 2, nil)
+	if len(got) != 2 || got[0].Index != 0 || got[1].Index != 1 {
+		t.Errorf("duplicate tie-break: got %v, want indices 0,1", got)
+	}
+}

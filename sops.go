@@ -127,6 +127,16 @@ type (
 	ObserverConfig = observer.Config
 	// Source is a deterministic random source.
 	Source = rngx.Source
+	// Estimator evaluates a multi-information estimate on a dataset.
+	Estimator = infotheory.Estimator
+	// EstimatorEngine is the reusable tree-accelerated estimator engine:
+	// one exact k-d tree core (internal/knn) answers the
+	// nearest-neighbour and range-count queries of the KSG, KL-entropy
+	// and kernel estimators with recycled scratch, bit-identical to the
+	// brute-force definitions. Pipeline estimation workers each own one;
+	// its Workers field (Pipeline.SampleWorkers) fans the samples of a
+	// single estimate out across goroutines.
+	EstimatorEngine = infotheory.Engine
 )
 
 // Estimator kinds accepted by Pipeline.Estimator.
@@ -185,6 +195,9 @@ var (
 	// NewInfoDataset allocates an observer-variable dataset with the
 	// given per-variable dimensions.
 	NewInfoDataset = infotheory.NewDataset
+	// NewEstimatorEngine returns an estimator engine with the given
+	// within-dataset sample parallelism (0 or 1 = serial).
+	NewEstimatorEngine = infotheory.NewEngine
 	// MultiInfoKSG is the paper's estimator (Eqs. 18–20).
 	MultiInfoKSG = infotheory.MultiInfoKSG
 	// MultiInfoKernel is the Gaussian-KDE baseline.
