@@ -107,7 +107,7 @@ func BenchmarkFig07AlignedOverlay(b *testing.B) {
 
 func BenchmarkFig08TypeCountSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig8TypeCountSweep(benchScale(), 4, benchSeed); err != nil {
+		if _, err := experiment.Fig8TypeCountSweep(nil, benchScale(), 4, benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +115,7 @@ func BenchmarkFig08TypeCountSweep(b *testing.B) {
 
 func BenchmarkFig09CutoffSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig9CutoffSweep(benchScale(), benchSeed); err != nil {
+		if _, err := experiment.Fig9CutoffSweep(nil, benchScale(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +123,7 @@ func BenchmarkFig09CutoffSweep(b *testing.B) {
 
 func BenchmarkFig10TypesVsCutoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig10TypesVsCutoff(benchScale(), benchSeed); err != nil {
+		if _, err := experiment.Fig10TypesVsCutoff(nil, benchScale(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +147,10 @@ func BenchmarkFig12EmergentStructures(b *testing.B) {
 
 func BenchmarkEstimatorComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		table := experiment.EstimatorComparison(4, 100, 2, 0.6, 4, benchSeed)
+		table, err := experiment.EstimatorComparison(nil, 4, 100, 2, 0.6, 4, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(table.Rows) == 0 {
 			b.Fatal("empty table")
 		}

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	sopfigures [-scale quick|paper|test] [-seed N] [-out DIR] <figure>
+//	sopfigures [-scale quick|paper|test] [-seed N] [-out DIR]
+//	           [-runs N] [-budget N] [-checkpoint DIR] <figure>
 //
 // where <figure> is one of fig1 … fig12, estimators, or all. Each figure is
 // written to DIR as CSV (curves) and/or SVG (configurations), and a compact
 // ASCII rendition is printed to stdout. The default quick scale preserves
 // the paper's curve shapes at laptop cost; -scale paper reproduces the full
 // ensemble sizes (m = 500, 10 repeat draws — hours of CPU for the sweeps).
+//
+// The sweep figures (8–10, estimators) execute through sweep.Runner:
+// -runs bounds the in-flight pipelines, -budget the global worker tokens
+// shared by all of their stages, and -checkpoint makes the sweep
+// resumable (one gob file per completed run). Outputs are bit-identical
+// for every -runs/-budget setting; see also cmd/sopsweep.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/plot"
+	"repro/internal/sweep"
+	"repro/internal/workpool"
 )
 
 func main() {
@@ -31,6 +40,9 @@ func main() {
 		mOverride = flag.Int("m", 0, "override the ensemble size M of the chosen scale")
 		stepsOv   = flag.Int("steps", 0, "override t_max of the chosen scale")
 		repeatsOv = flag.Int("repeats", 0, "override the random-type repeat draws of the chosen scale")
+		runs      = flag.Int("runs", 0, "concurrent pipeline runs for the sweep figures (0 = GOMAXPROCS, 1 = serial)")
+		budget    = flag.Int("budget", 0, "global worker budget shared by all in-flight sweep runs (0 = GOMAXPROCS)")
+		ckpt      = flag.String("checkpoint", "", "checkpoint directory for sweep runs; an interrupted sweep resumes from it")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sopfigures [flags] <fig1|...|fig12|estimators|all>\n")
@@ -65,7 +77,15 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	r := runner{sc: sc, seed: *seed, out: *outDir}
+	// The sweep figures (8–10, estimators) run their grids through one
+	// budgeted concurrent runner; everything else is a single pipeline
+	// and ignores it.
+	sw := &sweep.Runner{
+		Concurrency: *runs,
+		Tokens:      workpool.NewTokens(*budget),
+		Dir:         *ckpt,
+	}
+	r := runner{sc: sc, seed: *seed, out: *outDir, sw: sw}
 
 	target := strings.ToLower(flag.Arg(0))
 	all := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -92,6 +112,7 @@ type runner struct {
 	sc   experiment.Scale
 	seed uint64
 	out  string
+	sw   experiment.Sweeper
 }
 
 func (r runner) run(fig string) error {
@@ -143,19 +164,19 @@ func (r runner) run(fig string) error {
 		ov := experiment.Fig7AlignedOverlay(res)
 		return r.saveConfigs(fig, []experiment.TypedConfig{*ov})
 	case "fig8":
-		fd, err := experiment.Fig8TypeCountSweep(r.sc, 10, r.seed)
+		fd, err := experiment.Fig8TypeCountSweep(r.sw, r.sc, 10, r.seed)
 		if err != nil {
 			return err
 		}
 		return r.saveFigure(fd)
 	case "fig9":
-		fd, err := experiment.Fig9CutoffSweep(r.sc, r.seed)
+		fd, err := experiment.Fig9CutoffSweep(r.sw, r.sc, r.seed)
 		if err != nil {
 			return err
 		}
 		return r.saveFigure(fd)
 	case "fig10":
-		fd, err := experiment.Fig10TypesVsCutoff(r.sc, r.seed)
+		fd, err := experiment.Fig10TypesVsCutoff(r.sw, r.sc, r.seed)
 		if err != nil {
 			return err
 		}
@@ -173,7 +194,10 @@ func (r runner) run(fig string) error {
 		}
 		return r.saveConfigs(fig, cfgs)
 	case "estimators":
-		table := experiment.EstimatorComparison(5, 200, max(2, r.sc.Repeats), 0.6, 4, r.seed)
+		table, err := experiment.EstimatorComparison(r.sw, 5, 200, max(2, r.sc.Repeats), 0.6, 4, r.seed)
+		if err != nil {
+			return err
+		}
 		fmt.Print(table.String())
 		return os.WriteFile(filepath.Join(r.out, "estimators.txt"), []byte(table.String()), 0o644)
 	default:

@@ -56,6 +56,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := validateKSGK(*est, *k, ds.NumSamples()); err != nil {
+		fatal(err)
+	}
 
 	// One engine serves the whole run (the headline estimate, and every
 	// term of the decomposition below): its k-d trees and scratch stores
@@ -104,6 +107,23 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sopinfo:", err)
 	os.Exit(1)
+}
+
+// validateKSGK checks the k-NN parameter against the CSV's sample count
+// before any estimate runs, turning what used to be a panic deep in the
+// estimator (infotheory: "KSG needs 1 <= k < m") into a clean CLI error.
+// One check covers the headline estimate and every decomposition term:
+// the Eq. (5) decomposition selects variable subsets, never sample
+// subsets, so each group estimate sees the same m rows.
+func validateKSGK(est string, k, samples int) error {
+	switch est {
+	case "ksg2", "ksg1", "ksg-paper":
+		if k < 1 || k >= samples {
+			return fmt.Errorf("-k %d needs 1 <= k < samples, but the CSV has %d data rows; "+
+				"pass a smaller -k or provide at least k+1 samples", k, samples)
+		}
+	}
+	return nil
 }
 
 func readNumericCSV(path string) ([][]float64, error) {

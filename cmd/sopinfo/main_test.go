@@ -108,6 +108,45 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
+// TestValidateKSGKTinyCSV is the regression test for the -k panic: a CSV
+// with fewer data rows than k used to crash inside the estimator
+// ("infotheory: KSG needs 1 <= k < m", ksg.go); it must be a clean error
+// covering the headline estimate and the decomposition (same m rows).
+func TestValidateKSGKTinyCSV(t *testing.T) {
+	path := writeTemp(t, "x,y\n1,2\n3,4\n5,6\n")
+	rows, err := readNumericCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := buildDataset(rows, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 3 {
+		t.Fatalf("samples = %d", ds.NumSamples())
+	}
+	for _, est := range []string{"ksg2", "ksg1", "ksg-paper"} {
+		if err := validateKSGK(est, 4, ds.NumSamples()); err == nil {
+			t.Fatalf("%s: default k=4 on 3 samples accepted", est)
+		}
+		if err := validateKSGK(est, 3, ds.NumSamples()); err == nil {
+			t.Fatalf("%s: k == samples accepted", est)
+		}
+		if err := validateKSGK(est, 0, ds.NumSamples()); err == nil {
+			t.Fatalf("%s: k=0 accepted", est)
+		}
+		if err := validateKSGK(est, 2, ds.NumSamples()); err != nil {
+			t.Fatalf("%s: valid k rejected: %v", est, err)
+		}
+	}
+	// The non-kNN estimators ignore k entirely.
+	for _, est := range []string{"kernel", "binned"} {
+		if err := validateKSGK(est, 99, ds.NumSamples()); err != nil {
+			t.Fatalf("%s: k should be ignored: %v", est, err)
+		}
+	}
+}
+
 func TestEndToEndEstimateOnGeneratedData(t *testing.T) {
 	// Strongly dependent pair through the full CSV path.
 	content := "x,y\n"

@@ -1,0 +1,177 @@
+// Command sopsweep runs batched sweep experiments — many full
+// simulate→align→estimate pipelines — concurrently under one global
+// worker budget, with optional per-run checkpointing so an interrupted
+// sweep resumes from what is already on disk.
+//
+// Usage:
+//
+//	sopsweep [flags] -scenario <name>     # named scenario from the registry
+//	sopsweep [flags] -spec grid.json      # custom grid from a JSON spec
+//	sopsweep -list                        # list registered scenarios
+//
+// Flags:
+//
+//	-scale quick|paper|test   ensemble scale preset (default quick)
+//	-seed N                   master seed; every run derives its own
+//	                          rngx.Split sub-streams from it
+//	-m/-steps/-repeats N      override single fields of the scale
+//	-runs N                   concurrent pipeline runs (0 = GOMAXPROCS,
+//	                          1 = serial run order)
+//	-budget N                 global worker tokens shared by all stages
+//	                          of all in-flight runs (0 = GOMAXPROCS)
+//	-checkpoint DIR           write one gob file per completed run and
+//	                          resume from matching files already present
+//	-out DIR                  output directory (CSV + SVG per figure)
+//
+// Results are bit-identical for every -runs/-budget setting and for a
+// resumed versus uninterrupted sweep; see DESIGN.md "Sweep
+// orchestration".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+	"repro/internal/plot"
+	"repro/internal/sweep"
+	"repro/internal/workpool"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sopsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sopsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenario  = fs.String("scenario", "", "named scenario to run (see -list)")
+		specFile  = fs.String("spec", "", "JSON grid spec file for a custom sweep")
+		list      = fs.Bool("list", false, "list registered scenarios and exit")
+		scaleName = fs.String("scale", "quick", "ensemble scale: quick, paper, or test")
+		seed      = fs.Uint64("seed", 2012, "master seed")
+		mOverride = fs.Int("m", 0, "override the ensemble size M of the chosen scale")
+		stepsOv   = fs.Int("steps", 0, "override t_max of the chosen scale")
+		repeatsOv = fs.Int("repeats", 0, "override the repeat draws of the chosen scale")
+		runs      = fs.Int("runs", 0, "concurrent pipeline runs (0 = GOMAXPROCS, 1 = serial)")
+		budget    = fs.Int("budget", 0, "global worker budget shared by all in-flight runs (0 = GOMAXPROCS)")
+		ckptDir   = fs.String("checkpoint", "", "checkpoint directory; completed runs resume from it")
+		outDir    = fs.String("out", "out", "output directory")
+		quiet     = fs.Bool("q", false, "suppress per-run progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, s := range sweep.Scenarios() {
+			fmt.Fprintf(stdout, "%-14s %s\n", s.Name, s.Desc)
+		}
+		return nil
+	}
+	if (*scenario == "") == (*specFile == "") {
+		return fmt.Errorf("exactly one of -scenario or -spec is required (or -list)")
+	}
+	var sc experiment.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiment.QuickScale()
+	case "paper":
+		sc = experiment.PaperScale()
+	case "test":
+		sc = experiment.TestScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *mOverride > 0 {
+		sc.M = *mOverride
+	}
+	if *stepsOv > 0 {
+		sc.Steps = *stepsOv
+	}
+	if *repeatsOv > 0 {
+		sc.Repeats = *repeatsOv
+	}
+
+	runner := &sweep.Runner{
+		Concurrency: *runs,
+		Tokens:      workpool.NewTokens(*budget),
+		Dir:         *ckptDir,
+	}
+	if !*quiet {
+		runner.OnRunDone = func(i int, spec experiment.SweepSpec, _ *experiment.Result, fromCheckpoint bool) {
+			suffix := ""
+			if fromCheckpoint {
+				suffix = " (from checkpoint)"
+			}
+			fmt.Fprintf(stderr, "done %s%s\n", spec.ID, suffix)
+		}
+	}
+
+	var fd *experiment.FigureData
+	var err error
+	switch {
+	case *scenario != "":
+		s, ok := sweep.LookupScenario(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (use -list)", *scenario)
+		}
+		fd, err = s.Run(runner, sc, *seed)
+	default:
+		var g *sweep.GridSpec
+		if g, err = sweep.LoadGridSpec(*specFile); err != nil {
+			return err
+		}
+		fd, err = g.Figure(runner, sc, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	return saveFigure(stdout, *outDir, fd)
+}
+
+// saveFigure renders the figure as an ASCII chart on stdout and writes
+// the CSV + SVG files, mirroring sopfigures' output conventions.
+func saveFigure(stdout io.Writer, outDir string, fd *experiment.FigureData) error {
+	names := make([]string, len(fd.Series))
+	xs := make([][]float64, len(fd.Series))
+	ys := make([][]float64, len(fd.Series))
+	chart := &plot.Chart{Title: fd.Title, XLabel: "t", YLabel: "bits"}
+	for i, s := range fd.Series {
+		names[i] = s.Name
+		xs[i] = s.X
+		ys[i] = s.Y
+		chart.Add(s.Name, s.X, s.Y)
+	}
+	fmt.Fprint(stdout, chart.Render(72, 18))
+	if fd.Notes != "" {
+		fmt.Fprintln(stdout, "notes:", fd.Notes)
+	}
+	csvPath := filepath.Join(outDir, fd.ID+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteSeriesCSV(f, names, xs, ys); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	svgPath := filepath.Join(outDir, fd.ID+".svg")
+	if err := os.WriteFile(svgPath, []byte(plot.SVGLines(fd.Title, names, xs, ys, 560)), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s and %s\n", csvPath, svgPath)
+	return nil
+}

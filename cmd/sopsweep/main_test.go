@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig8", "fig9", "fig10", "rings", "cell-adhesion", "long-range"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run(nil, io.Discard, io.Discard); err == nil {
+		t.Fatal("no target accepted")
+	}
+	if err := run([]string{"-scenario", "fig8", "-spec", "x.json"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("both -scenario and -spec accepted")
+	}
+	if err := run([]string{"-scenario", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-scenario", "fig8", "-scale", "huge"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+// TestScenarioEndToEndWithResume runs the fig8 scenario at test scale
+// with checkpointing, then re-runs into a second output directory: the
+// resumed run must do zero pipeline work (every run restored) and its
+// CSV must be byte-identical — the CLI-level resume contract.
+func TestScenarioEndToEndWithResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-heavy")
+	}
+	base := t.TempDir()
+	ckpt := filepath.Join(base, "ckpt")
+	out1 := filepath.Join(base, "out1")
+	out2 := filepath.Join(base, "out2")
+	args := []string{"-scenario", "fig8", "-scale", "test", "-seed", "7",
+		"-checkpoint", ckpt, "-runs", "2"}
+	if err := run(append(args, "-out", out1), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var progress bytes.Buffer
+	if err := run(append(args, "-out", out2), io.Discard, &progress); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "from checkpoint") {
+		t.Fatalf("second run did not resume:\n%s", progress.String())
+	}
+	if strings.Contains(strings.ReplaceAll(progress.String(), "(from checkpoint)", ""), "done fig8") &&
+		strings.Count(progress.String(), "from checkpoint") != strings.Count(progress.String(), "done ") {
+		t.Fatalf("second run recomputed runs:\n%s", progress.String())
+	}
+	a, err := os.ReadFile(filepath.Join(out1, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(out2, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed CSV differs from the original run")
+	}
+}
+
+func TestCustomGridSpecEndToEnd(t *testing.T) {
+	base := t.TempDir()
+	spec := filepath.Join(base, "grid.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"name": "minigrid",
+		"n": 8,
+		"typeCounts": [2],
+		"cutoffs": [-1],
+		"force": {"family": "f2"},
+		"m": 8, "steps": 6, "recordEvery": 3, "repeats": 2
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(base, "out")
+	var stdout bytes.Buffer
+	if err := run([]string{"-spec", spec, "-out", out, "-q"}, &stdout, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "minigrid.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "minigrid") {
+		t.Fatalf("chart output missing:\n%s", stdout.String())
+	}
+}

@@ -66,15 +66,30 @@ func SampleEquicorrelatedGaussians(m, n int, rho float64, rng rngx.Source) *info
 // EstimatorComparison runs every estimator `reps` times on fresh
 // equicorrelated Gaussian datasets (n variables, m samples, correlation
 // rho) and reports bias, spread and timing against the analytic truth.
+// The continuous estimators run on infotheory.Engine — the tree-
+// accelerated stack the measurement pipeline actually executes, with one
+// engine per worker slot so scratch recycling matches the pipeline's
+// per-worker reuse (the brute-force definitions remain the estimator
+// packages' test reference, not what is timed here). The reps execute
+// through sw's job runner (nil = serial); estimates are bit-identical for
+// every sweeper, and PerEval is the mean of the individually timed
+// evaluations, so it stays meaningful under concurrency.
 //
 // Expected shape (paper, Sec. 5.3): KSG is fast and low-variance; the
 // kernel estimator is orders of magnitude slower with larger variance in
 // higher dimension; the binned estimator overestimates grossly in high
 // dimension.
-func EstimatorComparison(nVars, m, reps int, rho float64, kKSG int, seed uint64) *ComparisonTable {
+func EstimatorComparison(sw Sweeper, nVars, m, reps int, rho float64, kKSG int, seed uint64) (*ComparisonTable, error) {
 	if kKSG <= 0 {
 		kKSG = DefaultKSGK
 	}
+	if reps < 1 {
+		return nil, fmt.Errorf("experiment: EstimatorComparison needs reps >= 1, got %d", reps)
+	}
+	if kKSG >= m {
+		return nil, fmt.Errorf("experiment: EstimatorComparison needs k (%d) < m (%d)", kKSG, m)
+	}
+	sweeper := sweeperOrSerial(sw)
 	table := &ComparisonTable{
 		NVars:  nVars,
 		M:      m,
@@ -83,23 +98,25 @@ func EstimatorComparison(nVars, m, reps int, rho float64, kKSG int, seed uint64)
 	}
 	type namedEst struct {
 		name string
-		fn   infotheory.Estimator
+		fn   func(eng *infotheory.Engine, d *infotheory.Dataset) float64
 	}
 	ests := []namedEst{
-		{"ksg-paper", func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoKSGVariant(d, kKSG, infotheory.KSGPaper)
+		{"ksg-paper", func(eng *infotheory.Engine, d *infotheory.Dataset) float64 {
+			return eng.MultiInfoKSGVariant(d, kKSG, infotheory.KSGPaper)
 		}},
-		{"ksg1", func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoKSGVariant(d, kKSG, infotheory.KSG1)
+		{"ksg1", func(eng *infotheory.Engine, d *infotheory.Dataset) float64 {
+			return eng.MultiInfoKSGVariant(d, kKSG, infotheory.KSG1)
 		}},
-		{"ksg2", func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoKSGVariant(d, kKSG, infotheory.KSG2)
+		{"ksg2", func(eng *infotheory.Engine, d *infotheory.Dataset) float64 {
+			return eng.MultiInfoKSGVariant(d, kKSG, infotheory.KSG2)
 		}},
-		{"kernel", infotheory.MultiInfoKernel},
-		{"binned-js", func(d *infotheory.Dataset) float64 {
+		{"kernel", func(eng *infotheory.Engine, d *infotheory.Dataset) float64 {
+			return eng.MultiInfoKernel(d)
+		}},
+		{"binned-js", func(_ *infotheory.Engine, d *infotheory.Dataset) float64 {
 			return infotheory.MultiInfoBinned(d, infotheory.BinnedOptions{})
 		}},
-		{"binned-ml", func(d *infotheory.Dataset) float64 {
+		{"binned-ml", func(_ *infotheory.Engine, d *infotheory.Dataset) float64 {
 			return infotheory.MultiInfoBinned(d, infotheory.BinnedOptions{PlainML: true})
 		}},
 	}
@@ -108,21 +125,38 @@ func EstimatorComparison(nVars, m, reps int, rho float64, kKSG int, seed uint64)
 	for r := range datasets {
 		datasets[r] = SampleEquicorrelatedGaussians(m, nVars, rho, rngx.Split(seed, uint64(r)))
 	}
+	// One engine per worker slot, shared across estimators: trees and
+	// scratch are recycled call to call exactly as a pipeline estimation
+	// worker recycles them. An engine is never used concurrently — a slot
+	// processes one job at a time.
+	engines := make([]*infotheory.Engine, reps)
+	vals := make([]float64, reps)
+	durs := make([]time.Duration, reps)
 	for _, e := range ests {
-		vals := make([]float64, reps)
-		start := time.Now()
-		for r := range datasets {
-			vals[r] = e.fn(datasets[r])
+		err := sweeper.Do(reps, func(worker, r int) error {
+			eng := engines[worker]
+			if eng == nil {
+				eng = infotheory.NewEngine(0)
+				engines[worker] = eng
+			}
+			start := time.Now()
+			vals[r] = e.fn(eng, datasets[r])
+			durs[r] = time.Since(start)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		elapsed := time.Since(start)
 		mean := mathx.Mean(vals)
 		std := mathx.StdDev(vals)
 		if reps < 2 {
 			std = 0
 		}
 		var mse float64
-		for _, v := range vals {
+		var total time.Duration
+		for r, v := range vals {
 			mse += mathx.Sq(v - table.TrueMI)
+			total += durs[r]
 		}
 		mse /= float64(reps)
 		table.Rows = append(table.Rows, ComparisonRow{
@@ -131,10 +165,10 @@ func EstimatorComparison(nVars, m, reps int, rho float64, kKSG int, seed uint64)
 			Std:       std,
 			Bias:      mean - table.TrueMI,
 			RMSE:      math.Sqrt(mse),
-			PerEval:   elapsed / time.Duration(reps),
+			PerEval:   total / time.Duration(reps),
 		})
 	}
-	return table
+	return table, nil
 }
 
 // String renders the table for the CLI and EXPERIMENTS.md.

@@ -289,7 +289,10 @@ func TestSampleEquicorrelatedValidation(t *testing.T) {
 }
 
 func TestEstimatorComparisonRanksKSGAboveBaselines(t *testing.T) {
-	table := EstimatorComparison(5, 150, 3, 0.6, 4, 99)
+	table, err := EstimatorComparison(nil, 5, 150, 3, 0.6, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(table.Rows) != 6 {
 		t.Fatalf("%d rows", len(table.Rows))
 	}

@@ -347,36 +347,58 @@ func RingRadialStats(res *Result) (innerScatter, outerScatter float64) {
 // ---------------------------------------------------------------------------
 // Fig. 8 — ΔI vs number of types under F².
 
-// Fig8TypeCountSweep measures the multi-information increase between t=0
-// and t_max for l = 1…maxTypes under F² with random symmetric matrices,
-// averaged over sc.Repeats draws (the paper: 10 draws, l up to 10,
-// τ-family randomised; see DESIGN.md on the r→τ substitution).
-func Fig8TypeCountSweep(sc Scale, maxTypes int, seed uint64) (*FigureData, error) {
-	xs := make([]float64, 0, maxTypes)
-	ys := make([]float64, 0, maxTypes)
+// Fig8Specs builds the full run grid of Fig. 8 — l = 1…maxTypes under F²
+// with random symmetric matrices, sc.Repeats independent draws per l —
+// in the serial loop's (l, rep) order, with the serial loop's exact seed
+// and matrix-draw streams. Every draw uses its own rngx.Split sub-stream,
+// so the specs are identical no matter how (or how concurrently) they are
+// later executed.
+func Fig8Specs(sc Scale, maxTypes int, seed uint64) []SweepSpec {
+	specs := make([]SweepSpec, 0, maxTypes*sc.Repeats)
 	for l := 1; l <= maxTypes; l++ {
-		var deltas []float64
 		for rep := 0; rep < sc.Repeats; rep++ {
 			rng := rngx.Split(seed, uint64(l*1000+rep))
 			f := forces.RandomF2(l, 1, 10, 1, 10, rng)
-			p := Pipeline{
-				Name: fmt.Sprintf("fig8-l%d-rep%d", l, rep),
-				Ensemble: sim.EnsembleConfig{
-					Sim:         sim.Config{N: 20, Force: f, Cutoff: 7.5},
-					M:           sc.M,
-					Steps:       sc.Steps,
-					RecordEvery: sc.Steps, // only first and last frame needed
-					Seed:        seed + uint64(l*7919+rep),
+			specs = append(specs, SweepSpec{
+				ID: fmt.Sprintf("fig8-l%d-rep%d", l, rep),
+				Pipeline: Pipeline{
+					Name: fmt.Sprintf("fig8-l%d-rep%d", l, rep),
+					Ensemble: sim.EnsembleConfig{
+						Sim:         sim.Config{N: 20, Force: f, Cutoff: 7.5},
+						M:           sc.M,
+						Steps:       sc.Steps,
+						RecordEvery: sc.Steps, // only first and last frame needed
+						Seed:        seed + uint64(l*7919+rep),
+					},
 				},
-			}
-			res, err := p.Run()
-			if err != nil {
-				return nil, err
-			}
-			deltas = append(deltas, res.DeltaI())
+			})
 		}
+	}
+	return specs
+}
+
+// Fig8TypeCountSweep measures the multi-information increase between t=0
+// and t_max for l = 1…maxTypes under F² with random symmetric matrices,
+// averaged over sc.Repeats draws (the paper: 10 draws, l up to 10,
+// τ-family randomised; see DESIGN.md on the r→τ substitution). The runs
+// execute through sw (nil = serial); output is bit-identical for every
+// sweeper and concurrency setting.
+func Fig8TypeCountSweep(sw Sweeper, sc Scale, maxTypes int, seed uint64) (*FigureData, error) {
+	if err := validateRepeats(sc); err != nil {
+		return nil, err
+	}
+	if maxTypes < 1 {
+		return nil, fmt.Errorf("experiment: Fig8TypeCountSweep needs maxTypes >= 1, got %d", maxTypes)
+	}
+	results, err := sweeperOrSerial(sw).Sweep(Fig8Specs(sc, maxTypes, seed))
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, 0, maxTypes)
+	ys := make([]float64, 0, maxTypes)
+	for l := 1; l <= maxTypes; l++ {
 		xs = append(xs, float64(l))
-		ys = append(ys, mathx.Mean(deltas))
+		ys = append(ys, MeanDeltaI(results[(l-1)*sc.Repeats:l*sc.Repeats]))
 	}
 	return &FigureData{
 		ID:     "fig8",
@@ -390,45 +412,50 @@ func Fig8TypeCountSweep(sc Scale, maxTypes int, seed uint64) (*FigureData, error
 // ---------------------------------------------------------------------------
 // Figs. 9 & 10 — cut-off radius and type-count sweeps under F¹.
 
-// fig9Sim builds the random-type F¹ system of Figs. 9/10: n particles,
-// l types assigned round-robin, r_αβ ∈ [2, 8], k_αβ = 1.
-func fig9Sim(n, l int, rc float64, draw rngx.Source) sim.Config {
+// RandomTypedF1Config builds the random-type F¹ system of Figs. 9/10 (and
+// the long-range scenario family): n particles, l types assigned
+// round-robin, r_αβ ∈ [2, 8], k_αβ = 1.
+func RandomTypedF1Config(n, l int, rc float64, draw rngx.Source) sim.Config {
 	f := forces.MustF1(forces.ConstantMatrix(l, 1), forces.RandomMatrix(l, 2, 8, draw))
 	return sim.Config{N: n, Types: sim.TypesRoundRobin(n, l), Force: f, Cutoff: rc}
 }
 
-// averageMI runs the pipeline for sc.Repeats random draws and returns the
-// pointwise-mean MI curve (all runs share the recorded time grid).
-func averageMI(sc Scale, seed uint64, build func(rep int) sim.Config) ([]int, []float64, error) {
-	var times []int
-	var acc []float64
+// repeatSpecs builds the sc.Repeats runs of one averaged series: rep r
+// simulates build(r) with ensemble seed seed + r·104729 (the historical
+// stride). idPrefix must be unique per series within a sweep.
+func repeatSpecs(idPrefix string, sc Scale, seed uint64, build func(rep int) sim.Config) []SweepSpec {
+	specs := make([]SweepSpec, sc.Repeats)
 	for rep := 0; rep < sc.Repeats; rep++ {
-		p := Pipeline{
-			Name: fmt.Sprintf("avg-rep%d", rep),
-			Ensemble: sim.EnsembleConfig{
-				Sim:         build(rep),
-				M:           sc.M,
-				Steps:       sc.Steps,
-				RecordEvery: sc.RecordEvery,
-				Seed:        seed + uint64(rep)*104729,
+		specs[rep] = SweepSpec{
+			ID: fmt.Sprintf("%s-rep%d", idPrefix, rep),
+			Pipeline: Pipeline{
+				Name: fmt.Sprintf("avg-rep%d", rep),
+				Ensemble: sim.EnsembleConfig{
+					Sim:         build(rep),
+					M:           sc.M,
+					Steps:       sc.Steps,
+					RecordEvery: sc.RecordEvery,
+					Seed:        seed + uint64(rep)*104729,
+				},
 			},
 		}
-		res, err := p.Run()
-		if err != nil {
-			return nil, nil, err
-		}
-		if acc == nil {
-			times = res.Times
-			acc = make([]float64, len(res.MI))
-		}
-		for i, v := range res.MI {
-			acc[i] += v
-		}
 	}
-	for i := range acc {
-		acc[i] /= float64(sc.Repeats)
+	return specs
+}
+
+// AverageMI runs the pipeline for sc.Repeats random draws through sw and
+// returns the pointwise-mean MI curve (all runs share the recorded time
+// grid). It is the one-series form of the Figs. 9/10 sweep machinery,
+// exported for the scenario registry.
+func AverageMI(sw Sweeper, sc Scale, seed uint64, build func(rep int) sim.Config) ([]int, []float64, error) {
+	if err := validateRepeats(sc); err != nil {
+		return nil, nil, err
 	}
-	return times, acc, nil
+	results, err := sweeperOrSerial(sw).Sweep(repeatSpecs("avg", sc, seed, build))
+	if err != nil {
+		return nil, nil, err
+	}
+	return MeanMICurve(results)
 }
 
 // Fig9CutoffSweep reproduces Fig. 9: MI(t) for 20 particles with 20
@@ -436,18 +463,33 @@ func averageMI(sc Scale, seed uint64, build func(rep int) sim.Config) ([]int, []
 // rc ∈ {2.5, 5, 7.5, 10, 15, ∞}, averaged over random r_αβ draws. The
 // paper's headline: MI increases with rc even though the configurations
 // look unstructured; locality (small rc) limits self-organisation.
-func Fig9CutoffSweep(sc Scale, seed uint64) (*FigureData, error) {
+func Fig9CutoffSweep(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
+	if err := validateRepeats(sc); err != nil {
+		return nil, err
+	}
 	radii := []float64{2.5, 5.0, 7.5, 10.0, 15.0, math.Inf(1)}
 	fd := &FigureData{
 		ID:    "fig9",
 		Title: "Multi-information vs time for different cut-off radii (n=l=20, F1)",
 		Notes: "Paper: MI at t_max increases monotonically with rc; rc<=7.5 strongly limited.",
 	}
+	// One batch over the whole radius × repeat grid: a concurrent sweeper
+	// overlaps runs across series instead of draining one radius at a
+	// time. Seeds and draw streams are the historical per-series ones.
+	var specs []SweepSpec
 	for ri, rc := range radii {
-		times, mi, err := averageMI(sc, seed+uint64(ri)*15485863, func(rep int) sim.Config {
-			draw := rngx.Split(seed, uint64(ri*100+rep))
-			return fig9Sim(20, 20, rc, draw)
-		})
+		specs = append(specs, repeatSpecs(fmt.Sprintf("fig9-rc%g", rc), sc, seed+uint64(ri)*15485863,
+			func(rep int) sim.Config {
+				draw := rngx.Split(seed, uint64(ri*100+rep))
+				return RandomTypedF1Config(20, 20, rc, draw)
+			})...)
+	}
+	results, err := sweeperOrSerial(sw).Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rc := range radii {
+		times, mi, err := MeanMICurve(results[ri*sc.Repeats : (ri+1)*sc.Repeats])
 		if err != nil {
 			return nil, err
 		}
@@ -464,7 +506,10 @@ func Fig9CutoffSweep(sc Scale, seed uint64) (*FigureData, error) {
 // rc ∈ {10, 15, ∞} with 20 particles under F¹. The paper's headline: with
 // locally limited interactions, fewer types self-organise MORE than many
 // types — regular same-type clusters restore long-range information flow.
-func Fig10TypesVsCutoff(sc Scale, seed uint64) (*FigureData, error) {
+func Fig10TypesVsCutoff(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
+	if err := validateRepeats(sc); err != nil {
+		return nil, err
+	}
 	fd := &FigureData{
 		ID:    "fig10",
 		Title: "Multi-information vs time for l in {20,5} and rc in {10,15,inf} (n=20, F1)",
@@ -477,11 +522,20 @@ func Fig10TypesVsCutoff(sc Scale, seed uint64) (*FigureData, error) {
 		{20, 10}, {20, 15}, {20, math.Inf(1)},
 		{5, 10}, {5, 15}, {5, math.Inf(1)},
 	}
+	var specs []SweepSpec
 	for ci, c := range cases {
-		times, mi, err := averageMI(sc, seed+uint64(ci)*32452843, func(rep int) sim.Config {
-			draw := rngx.Split(seed, uint64(ci*100+rep))
-			return fig9Sim(20, c.l, c.rc, draw)
-		})
+		specs = append(specs, repeatSpecs(fmt.Sprintf("fig10-l%d-rc%g", c.l, c.rc), sc, seed+uint64(ci)*32452843,
+			func(rep int) sim.Config {
+				draw := rngx.Split(seed, uint64(ci*100+rep))
+				return RandomTypedF1Config(20, c.l, c.rc, draw)
+			})...)
+	}
+	results, err := sweeperOrSerial(sw).Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
+		times, mi, err := MeanMICurve(results[ci*sc.Repeats : (ci+1)*sc.Repeats])
 		if err != nil {
 			return nil, err
 		}
@@ -506,7 +560,7 @@ func Fig11Decomposition(sc Scale, seed uint64) (*FigureData, error) {
 	p := Pipeline{
 		Name: "fig11",
 		Ensemble: sim.EnsembleConfig{
-			Sim:         fig9Sim(20, 5, 15, draw),
+			Sim:         RandomTypedF1Config(20, 5, 15, draw),
 			M:           sc.M,
 			Steps:       sc.Steps,
 			RecordEvery: sc.RecordEvery,

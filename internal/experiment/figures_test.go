@@ -121,7 +121,7 @@ func TestFig8SweepAtTestScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fd, err := Fig8TypeCountSweep(TestScale(), 3, 11)
+	fd, err := Fig8TypeCountSweep(nil, TestScale(), 3, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

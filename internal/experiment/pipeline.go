@@ -14,6 +14,7 @@ import (
 	"repro/internal/infotheory"
 	"repro/internal/observer"
 	"repro/internal/sim"
+	"repro/internal/workpool"
 )
 
 // EstimatorKind names a multi-information estimator.
@@ -85,6 +86,13 @@ type Pipeline struct {
 	// streaming pipeline then never materialises the ensemble, so peak
 	// memory is the per-step observer datasets alone.
 	RetainEnsemble bool
+	// Tokens, when non-nil, is a shared execution budget all of this
+	// pipeline's stage workers draw from: each simulated sample and each
+	// estimated step holds one token while active. Several concurrently
+	// running pipelines handed the same budget (sweep.Runner does this)
+	// then share one machine-wide worker pool instead of each assuming
+	// the whole machine. Results never depend on it.
+	Tokens *workpool.Tokens
 }
 
 // Result is the outcome of a pipeline run.
@@ -200,6 +208,8 @@ func (p Pipeline) Run() (*Result, error) {
 	if _, err := p.estimatorFor(effK, nil); err != nil {
 		return nil, err
 	}
+	// The shared budget (if any) gates the simulation workers too.
+	p.Ensemble.Tokens = p.Tokens
 	if !p.Observer.Streamable() {
 		return p.runBatch(effK)
 	}
@@ -363,6 +373,9 @@ func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, g
 			// The kind was validated in Run; the error is impossible here.
 			est, _ := p.estimatorFor(effK, eng)
 			for t := range ready {
+				// One shared-budget token per estimated step; waiting on
+				// `ready` holds none, so sim workers are never starved.
+				p.Tokens.Acquire()
 				res.MI[t] = est(datasets[t])
 				if p.Decompose {
 					res.Decomp[t] = infotheory.Decompose(datasets[t], groups, est)
@@ -370,6 +383,7 @@ func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, g
 				if p.TrackEntropies {
 					res.Entropies[t] = eng.Entropies(datasets[t], effK)
 				}
+				p.Tokens.Release()
 			}
 		}()
 	}

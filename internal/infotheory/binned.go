@@ -2,6 +2,7 @@ package infotheory
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/mathx"
 )
@@ -108,14 +109,30 @@ func binnedEntropy(d *Dataset, vars []int, opt BinnedOptions) float64 {
 	// large; only 1/K and (K − occupied) enter the formulas).
 	K := math.Pow(float64(b), float64(D))
 
+	// Flatten the histogram in sorted-key order: map iteration order is
+	// randomised per run, and a float sum in varying order varies at
+	// rounding level — the determinism contract (bit-identical repeat
+	// runs, DESIGN.md) extends to the baseline estimators.
+	flatCounts := sortedCounts(counts)
 	if opt.PlainML {
-		flatCounts := make([]int, 0, len(counts))
-		for _, c := range counts {
-			flatCounts = append(flatCounts, c)
-		}
 		return EntropyFromCounts(flatCounts)
 	}
-	return shrinkageEntropy(counts, m, K)
+	return shrinkageEntropy(flatCounts, m, K)
+}
+
+// sortedCounts extracts the histogram counts in lexicographic cell-key
+// order, the deterministic iteration the entropy sums rely on.
+func sortedCounts(counts map[string]int) []int {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = counts[k]
+	}
+	return out
 }
 
 // shrinkageEntropy implements the Hausser–Strimmer James–Stein entropy
@@ -127,13 +144,9 @@ func binnedEntropy(d *Dataset, vars []int, opt BinnedOptions) float64 {
 // (clamped to [0, 1]), and the plug-in entropy of the shrunk distribution
 // is returned in bits, including the contribution of the K − n_occupied
 // unobserved cells, each carrying probability λ·t.
-func shrinkageEntropy(counts map[string]int, m int, K float64) float64 {
+func shrinkageEntropy(counts []int, m int, K float64) float64 {
 	if m < 2 {
-		flat := make([]int, 0, len(counts))
-		for _, c := range counts {
-			flat = append(flat, c)
-		}
-		return EntropyFromCounts(flat)
+		return EntropyFromCounts(counts)
 	}
 	t := 1 / K
 	var sumSq mathx.KahanSum

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/vec"
+	"repro/internal/workpool"
 )
 
 // EnsembleConfig describes an experiment's ensemble: m independent runs of
@@ -34,6 +35,12 @@ type EnsembleConfig struct {
 	// accumulate forces in different orders, so switching between those
 	// two modes changes trajectories at rounding level.
 	Workers int
+	// Tokens, when non-nil, is a shared execution budget the sample
+	// workers draw from: each sample's full run holds one token. It lets
+	// several concurrently running ensembles (a sweep) share one global
+	// worker budget instead of each assuming the whole machine. Runtime
+	// only — never persisted; results never depend on it.
+	Tokens *workpool.Tokens
 }
 
 // Trajectory is the recorded output of one sample: Frames[t][i] is the

@@ -134,7 +134,7 @@ func streamRange(ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResu
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	err := workpool.Run(hi-lo, workers, func(i int) error {
+	err := workpool.RunShared(hi-lo, workers, ec.Tokens, func(_, i int) error {
 		s := lo + i
 		if err := streamSample(ec, s, visit); err != nil {
 			return fmt.Errorf("sample %d: %w", s, err)

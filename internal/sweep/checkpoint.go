@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/forces"
+	"repro/internal/infotheory"
+)
+
+// runFile is the on-disk representation of one completed sweep run,
+// modeled on sim's ensembleFile: explicit exported fields, a version
+// guard for format evolution, and an identity (ID + spec fingerprint)
+// that must match before a checkpoint is trusted. Only the curve-level
+// payload is persisted — aggregation needs nothing else, and it keeps a
+// paper-scale sweep's checkpoint directory at kilobytes per run.
+type runFile struct {
+	Version     int
+	ID          string
+	Fingerprint uint64
+
+	Name                 string
+	Times                []int
+	MI                   []float64
+	Decomp               []infotheory.Decomposition
+	Entropies            []infotheory.EntropyProfile
+	Labels               []int
+	EquilibratedFraction float64
+}
+
+const runFileVersion = 1
+
+// fingerprint derives a stable identity for everything that affects a
+// run's numbers: the pipeline knobs, the ensemble grid and seed, the
+// simulation parameters, and the serialised force spec. ok is false when
+// the force is a custom Scaling with no serialisable spec — such runs are
+// recomputed rather than resumed, since their identity cannot be pinned.
+// Worker counts and budgets are deliberately excluded: results are
+// bit-identical across all of them.
+func fingerprint(spec experiment.SweepSpec) (fp uint64, ok bool) {
+	p := spec.Pipeline
+	fspec, err := forces.ToSpec(p.Ensemble.Sim.Force)
+	if err != nil {
+		return 0, false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "run|%s|%s|%d|%d|%t|%t|", spec.ID, p.Estimator, p.K, p.Bins, p.Decompose, p.TrackEntropies)
+	ec := p.Ensemble
+	fmt.Fprintf(h, "ens|%d|%d|%d|%d|", ec.M, ec.Steps, ec.RecordEvery, ec.Seed)
+	s := ec.Sim
+	fmt.Fprintf(h, "sim|%d|%v|%g|%g|%g|%g|%g|%d|", s.N, s.Types, s.Cutoff, s.Dt, s.NoiseVariance, s.InitRadius, s.EquilibriumThreshold, s.EquilibriumWindow)
+	fmt.Fprintf(h, "obs|%+v|", p.Observer)
+	fmt.Fprintf(h, "force|%+v", fspec)
+	return h.Sum64(), true
+}
+
+// checkpointPath names the run's file: the sanitised ID plus the
+// fingerprint, so distinct specs can never collide on a file even if
+// their IDs sanitise identically.
+func (r *Runner) checkpointPath(spec experiment.SweepSpec, fp uint64) string {
+	return filepath.Join(r.Dir, fmt.Sprintf("%s-%016x.run.gob", sanitizeID(spec.ID), fp))
+}
+
+// sanitizeID maps a spec ID onto the filename-safe alphabet.
+func sanitizeID(id string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			return c
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+// prepareDir creates the checkpoint directory and rejects duplicate spec
+// IDs, which would otherwise silently share checkpoint files.
+func (r *Runner) prepareDir(specs []experiment.SweepSpec) error {
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: checkpoint dir: %w", err)
+	}
+	seen := make(map[string]int, len(specs))
+	for i, spec := range specs {
+		if j, dup := seen[spec.ID]; dup {
+			return fmt.Errorf("sweep: specs %d and %d share ID %q; checkpoint IDs must be unique", j, i, spec.ID)
+		}
+		seen[spec.ID] = i
+	}
+	return nil
+}
+
+// loadCheckpoint restores a completed run if a matching checkpoint
+// exists. Any mismatch — missing file, undecodable payload, wrong
+// version, ID or fingerprint — means "recompute"; a stale or foreign
+// file is never an error, it is simply not a checkpoint for this spec.
+func (r *Runner) loadCheckpoint(spec experiment.SweepSpec) (*experiment.Result, bool) {
+	fp, ok := fingerprint(spec)
+	if !ok {
+		return nil, false
+	}
+	f, err := os.Open(r.checkpointPath(spec, fp))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var rec runFile
+	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
+		return nil, false
+	}
+	if rec.Version != runFileVersion || rec.ID != spec.ID || rec.Fingerprint != fp {
+		return nil, false
+	}
+	return &experiment.Result{
+		Name:                 rec.Name,
+		Times:                rec.Times,
+		MI:                   rec.MI,
+		Decomp:               rec.Decomp,
+		Entropies:            rec.Entropies,
+		Labels:               rec.Labels,
+		EquilibratedFraction: rec.EquilibratedFraction,
+	}, true
+}
+
+// saveCheckpoint persists a completed (already trimmed) run. The write
+// goes through a temp file in the same directory plus a rename, so a
+// kill mid-write leaves no half-checkpoint that a resume could trust.
+func (r *Runner) saveCheckpoint(spec experiment.SweepSpec, res *experiment.Result) error {
+	fp, ok := fingerprint(spec)
+	if !ok {
+		return nil // custom force: run is simply not checkpointable
+	}
+	rec := runFile{
+		Version:              runFileVersion,
+		ID:                   spec.ID,
+		Fingerprint:          fp,
+		Name:                 res.Name,
+		Times:                res.Times,
+		MI:                   res.MI,
+		Decomp:               res.Decomp,
+		Entropies:            res.Entropies,
+		Labels:               res.Labels,
+		EquilibratedFraction: res.EquilibratedFraction,
+	}
+	path := r.checkpointPath(spec, fp)
+	tmp, err := os.CreateTemp(r.Dir, ".tmp-run-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(rec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

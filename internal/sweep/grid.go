@@ -1,0 +1,263 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/forces"
+	"repro/internal/rngx"
+	"repro/internal/sim"
+)
+
+// GridSpec is the JSON description of a custom sweep: a grid over type
+// counts × cut-off radii of random-matrix systems, every cell averaged
+// over repeated draws. It is the `sopsweep -spec file.json` input for
+// experiments outside the named scenario registry.
+//
+// Example:
+//
+//	{
+//	  "name": "my-grid",
+//	  "n": 20,
+//	  "typeCounts": [2, 5],
+//	  "cutoffs": [5, -1],
+//	  "force": {"family": "f1"},
+//	  "repeats": 4
+//	}
+//
+// A cutoff ≤ 0 means rc = ∞ (JSON has no infinity literal). Zero-valued
+// scale fields (m, steps, recordEvery, repeats) inherit the CLI scale.
+type GridSpec struct {
+	Name       string    `json:"name"`
+	N          int       `json:"n"`
+	TypeCounts []int     `json:"typeCounts"`
+	Cutoffs    []float64 `json:"cutoffs"`
+	Force      GridForce `json:"force"`
+
+	// Scale overrides; 0 inherits the surrounding Scale.
+	M           int `json:"m"`
+	Steps       int `json:"steps"`
+	RecordEvery int `json:"recordEvery"`
+	Repeats     int `json:"repeats"`
+
+	// Estimator selects the MI estimator ("" = pipeline default, the
+	// corrected KSG-2); K is its k-NN parameter (0 = default 4).
+	Estimator string `json:"estimator"`
+	K         int    `json:"k"`
+	// Decompose additionally records the per-type decomposition.
+	Decompose bool `json:"decompose"`
+}
+
+// GridForce selects the random interaction family of a grid cell. All
+// bounds are optional; zero values take the paper's sweep defaults.
+type GridForce struct {
+	// Family is "f1" (random preferred distances, the Figs. 9/10 family)
+	// or "f2" (random strength/τ Gaussians, the Fig. 8 family).
+	Family string  `json:"family"`
+	K      float64 `json:"k"`   // f1 constant strength (default 1)
+	RLo    float64 `json:"rLo"` // f1 r_αβ range (default [2, 8])
+	RHi    float64 `json:"rHi"`
+	KLo    float64 `json:"kLo"` // f2 k_αβ range (default [1, 10])
+	KHi    float64 `json:"kHi"`
+	TauLo  float64 `json:"tauLo"` // f2 τ_αβ range (default [1, 10])
+	TauHi  float64 `json:"tauHi"`
+}
+
+// LoadGridSpec reads and validates a JSON grid file.
+func LoadGridSpec(path string) (*GridSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g GridSpec
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("sweep: parse grid spec %s: %w", path, err)
+	}
+	if err := g.validate(); err != nil {
+		return nil, fmt.Errorf("sweep: grid spec %s: %w", path, err)
+	}
+	return &g, nil
+}
+
+func (g *GridSpec) validate() error {
+	switch g.Force.Family {
+	case "f1", "f2":
+	case "":
+		return fmt.Errorf("force.family is required (\"f1\" or \"f2\")")
+	default:
+		return fmt.Errorf("unknown force.family %q (want \"f1\" or \"f2\")", g.Force.Family)
+	}
+	for _, l := range g.TypeCounts {
+		if l < 1 {
+			return fmt.Errorf("typeCounts entries must be >= 1, got %d", l)
+		}
+	}
+	if g.N < 0 || g.M < 0 || g.Steps < 0 || g.RecordEvery < 0 || g.Repeats < 0 || g.K < 0 {
+		return fmt.Errorf("negative counts are invalid")
+	}
+	for _, r := range []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"rLo/rHi", g.Force.RLo, g.Force.RHi},
+		{"kLo/kHi", g.Force.KLo, g.Force.KHi},
+		{"tauLo/tauHi", g.Force.TauLo, g.Force.TauHi},
+	} {
+		// A pair is either fully omitted (both zero → family default) or
+		// a proper positive range; a half-specified pair would silently
+		// invert the draw interval.
+		if r.lo == 0 && r.hi == 0 {
+			continue
+		}
+		if r.lo <= 0 || r.hi <= r.lo {
+			return fmt.Errorf("force.%s must satisfy 0 < lo < hi (or omit both for the default), got [%g, %g)", r.name, r.lo, r.hi)
+		}
+	}
+	return nil
+}
+
+// scale merges the grid's overrides into the surrounding Scale.
+func (g *GridSpec) scale(sc experiment.Scale) experiment.Scale {
+	if g.M > 0 {
+		sc.M = g.M
+	}
+	if g.Steps > 0 {
+		sc.Steps = g.Steps
+	}
+	if g.RecordEvery > 0 {
+		sc.RecordEvery = g.RecordEvery
+	}
+	if g.Repeats > 0 {
+		sc.Repeats = g.Repeats
+	}
+	return sc
+}
+
+// cellForce draws the cell's interaction from the grid's family, using
+// the given deterministic sub-stream.
+func (g *GridSpec) cellForce(l int, draw rngx.Source) forces.Scaling {
+	f := g.Force
+	switch f.Family {
+	case "f2":
+		kLo, kHi := defRange(f.KLo, f.KHi, 1, 10)
+		tauLo, tauHi := defRange(f.TauLo, f.TauHi, 1, 10)
+		return forces.RandomF2(l, kLo, kHi, tauLo, tauHi, draw)
+	default: // "f1", guaranteed by validate
+		k := f.K
+		if k <= 0 {
+			k = 1
+		}
+		rLo, rHi := defRange(f.RLo, f.RHi, 2, 8)
+		return forces.MustF1(forces.ConstantMatrix(l, k), forces.RandomMatrix(l, rLo, rHi, draw))
+	}
+}
+
+func defRange(lo, hi, dLo, dHi float64) (float64, float64) {
+	if lo == 0 && hi == 0 {
+		return dLo, dHi
+	}
+	return lo, hi
+}
+
+// Figure builds the grid's run set, executes it through sw, and reduces
+// each (typeCount, cutoff) cell to its mean MI curve. Every run's random
+// draw and ensemble seed come from rngx.Split sub-streams of the master
+// seed indexed by (cell, repeat), so the grid is reproducible and every
+// spec is independent of execution order.
+func (g *GridSpec) Figure(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+	if sw == nil {
+		sw = experiment.SerialSweeper{}
+	}
+	if err := g.validate(); err != nil {
+		return nil, fmt.Errorf("sweep: grid %q: %w", g.Name, err)
+	}
+	sc = g.scale(sc)
+	if sc.Repeats < 1 {
+		return nil, fmt.Errorf("sweep: grid %q needs repeats >= 1, got %d", g.Name, sc.Repeats)
+	}
+	name := g.Name
+	if name == "" {
+		name = "grid"
+	}
+	n := g.N
+	if n <= 0 {
+		n = 20
+	}
+	typeCounts := g.TypeCounts
+	if len(typeCounts) == 0 {
+		typeCounts = []int{1}
+	}
+	cutoffs := g.Cutoffs
+	if len(cutoffs) == 0 {
+		cutoffs = []float64{math.Inf(1)}
+	}
+
+	type cell struct {
+		l  int
+		rc float64
+	}
+	var cells []cell
+	for _, l := range typeCounts {
+		for _, rc := range cutoffs {
+			if rc <= 0 {
+				rc = math.Inf(1)
+			}
+			cells = append(cells, cell{l, rc})
+		}
+	}
+	var specs []experiment.SweepSpec
+	for ci, c := range cells {
+		for rep := 0; rep < sc.Repeats; rep++ {
+			draw := rngx.Split(seed, uint64(ci)*1_000_003+uint64(rep)*2+1)
+			specs = append(specs, experiment.SweepSpec{
+				ID: fmt.Sprintf("%s-l%d-rc%g-rep%d", name, c.l, c.rc, rep),
+				Pipeline: experiment.Pipeline{
+					Name:      fmt.Sprintf("%s-l%d-rc%g", name, c.l, c.rc),
+					Estimator: experiment.EstimatorKind(g.Estimator),
+					K:         g.K,
+					Decompose: g.Decompose,
+					Ensemble: sim.EnsembleConfig{
+						Sim: sim.Config{
+							N:      n,
+							Types:  sim.TypesRoundRobin(n, c.l),
+							Force:  g.cellForce(c.l, draw),
+							Cutoff: c.rc,
+						},
+						M:           sc.M,
+						Steps:       sc.Steps,
+						RecordEvery: sc.RecordEvery,
+						Seed:        rngx.Split(seed, uint64(ci)*1_000_033+uint64(rep)*2).Uint64(),
+					},
+				},
+			})
+		}
+	}
+	results, err := sw.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	fd := &experiment.FigureData{
+		ID:    name,
+		Title: fmt.Sprintf("Custom grid %q: mean MI vs time per (l, rc) cell (%s family)", name, g.Force.Family),
+		Notes: fmt.Sprintf("n=%d, %d repeats per cell, master seed splits per (cell, repeat).", n, sc.Repeats),
+	}
+	for ci, c := range cells {
+		times, mi, err := experiment.MeanMICurve(results[ci*sc.Repeats : (ci+1)*sc.Repeats])
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]float64, len(times))
+		for i, t := range times {
+			xs[i] = float64(t)
+		}
+		sname := fmt.Sprintf("l=%d,rc=%g", c.l, c.rc)
+		if math.IsInf(c.rc, 1) {
+			sname = fmt.Sprintf("l=%d,rc=inf", c.l)
+		}
+		fd.Series = append(fd.Series, experiment.Series{Name: sname, X: xs, Y: mi})
+	}
+	return fd, nil
+}

@@ -1,0 +1,148 @@
+// Package sweep orchestrates batches of measurement pipelines — the
+// paper's evaluation is mostly sweeps (Fig. 8's type-count grid, the
+// Figs. 9/10 radius × type-count families, the Sec. 5.3 estimator
+// comparison), each a set of fully independent experiment.Pipeline runs.
+//
+// The Runner executes such a set concurrently under one global worker
+// budget: a shared workpool.Tokens pool that the simulation, alignment
+// and estimation workers of every in-flight run draw from, so a sweep of
+// small-M runs keeps every core busy while a sweep of huge runs cannot
+// oversubscribe the machine. Each run's results are deterministic — the
+// per-sample rngx.Split sub-streams and the fixed-order estimator
+// reductions make every pipeline bit-identical for any worker count — so
+// Runner output is bit-identical to the serial loops for every
+// concurrency setting (enforced by the equivalence suite).
+//
+// With Dir set, every completed run is checkpointed to its own versioned
+// gob file (one file per run, modeled on sim/persist.go), and a later
+// Sweep over the same specs resumes from what is on disk: an interrupted
+// figure regeneration at paper scale loses at most the runs in flight.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/workpool"
+)
+
+// Runner executes sweep specs concurrently. The zero value runs with
+// GOMAXPROCS in-flight runs, a fresh GOMAXPROCS-token budget per call,
+// and no checkpointing. A Runner is safe for sequential reuse; share one
+// Tokens pool explicitly to budget several concurrent Sweep calls
+// together.
+type Runner struct {
+	// Concurrency bounds the number of in-flight pipeline runs
+	// (0 = GOMAXPROCS). It is a memory bound — each in-flight run holds
+	// its observer datasets — not a CPU bound; CPU is governed by Tokens.
+	Concurrency int
+	// Tokens is the global worker budget shared by all stages of all
+	// in-flight runs; nil allocates a fresh GOMAXPROCS budget per call.
+	Tokens *workpool.Tokens
+	// Dir enables checkpointing: one versioned gob file per completed
+	// run, keyed by the spec ID and a fingerprint of the full spec.
+	// Runs whose file is already present (same ID and fingerprint) are
+	// loaded instead of executed. Empty disables checkpointing.
+	Dir string
+	// OnRunDone, when non-nil, is invoked after each run completes (or
+	// is restored from its checkpoint), serialised by an internal mutex.
+	OnRunDone func(i int, spec experiment.SweepSpec, res *experiment.Result, fromCheckpoint bool)
+
+	mu sync.Mutex // serialises OnRunDone
+}
+
+// budget resolves the shared token pool for one call.
+func (r *Runner) budget() *workpool.Tokens {
+	if r.Tokens != nil {
+		return r.Tokens
+	}
+	return workpool.NewTokens(0)
+}
+
+// concurrency resolves the in-flight run bound.
+func (r *Runner) concurrency() int {
+	if r.Concurrency > 0 {
+		return r.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep executes every spec and returns the results in spec order,
+// implementing experiment.Sweeper. Failed sweeps keep the checkpoints of
+// the runs that did complete, so re-running the same Sweep resumes
+// rather than restarts.
+//
+// When checkpointing is enabled, results carry only the persisted fields
+// (Times, MI, Decomp, Entropies, Labels, EquilibratedFraction) whether
+// they were computed or restored — Observers and the raw Ensemble are
+// never part of a sweep result in that mode, keeping fresh and resumed
+// sweeps structurally identical.
+func (r *Runner) Sweep(specs []experiment.SweepSpec) ([]*experiment.Result, error) {
+	if r.Dir != "" {
+		if err := r.prepareDir(specs); err != nil {
+			return nil, err
+		}
+	}
+	tok := r.budget()
+	results := make([]*experiment.Result, len(specs))
+	err := workpool.Run(len(specs), r.concurrency(), func(i int) error {
+		spec := specs[i]
+		if r.Dir != "" {
+			if res, ok := r.loadCheckpoint(spec); ok {
+				results[i] = res
+				r.notify(i, spec, res, true)
+				return nil
+			}
+		}
+		p := spec.Pipeline
+		p.Tokens = tok
+		res, err := p.Run()
+		if err != nil {
+			return fmt.Errorf("sweep run %q: %w", spec.ID, err)
+		}
+		if r.Dir != "" {
+			res = trimResult(res)
+			if err := r.saveCheckpoint(spec, res); err != nil {
+				return fmt.Errorf("sweep run %q: %w", spec.ID, err)
+			}
+		}
+		results[i] = res
+		r.notify(i, spec, res, false)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Do executes n independent jobs under the runner's budget (one token
+// held per job) with at most Concurrency worker goroutines, implementing
+// the job half of experiment.Sweeper. fn receives a dense worker slot
+// index for per-worker scratch state.
+func (r *Runner) Do(n int, fn func(worker, i int) error) error {
+	return workpool.RunShared(n, r.concurrency(), r.budget(), fn)
+}
+
+func (r *Runner) notify(i int, spec experiment.SweepSpec, res *experiment.Result, fromCheckpoint bool) {
+	if r.OnRunDone == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.OnRunDone(i, spec, res, fromCheckpoint)
+}
+
+// trimResult strips the fields checkpoints do not persist, so computed
+// and restored results are indistinguishable.
+func trimResult(res *experiment.Result) *experiment.Result {
+	t := *res
+	t.Observers = nil
+	t.Ensemble = nil
+	return &t
+}
+
+// compile-time check: Runner implements the driver-facing interface.
+var _ experiment.Sweeper = (*Runner)(nil)

@@ -9,13 +9,75 @@
 // one place for every stage (simulation, alignment, estimation feeds).
 package workpool
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
+
+// Tokens is a shared concurrency budget: a fixed pool of execution tokens
+// that any number of worker pools (across any number of concurrently
+// running pipelines) draw from. A worker holds one token for the duration
+// of one work item and returns it between items, so a global budget of B
+// tokens bounds the machine-wide active work at B items regardless of how
+// many pools are in flight — small jobs cannot leave cores idle, and big
+// fan-outs cannot oversubscribe.
+//
+// A nil *Tokens is a valid no-op budget (Acquire/Release do nothing), so
+// budget support can be threaded through APIs without burdening callers
+// that do not use it. Tokens carries no fairness guarantee beyond the
+// runtime's channel scheduling; holders must always complete their item
+// without acquiring further tokens, which keeps the pool deadlock-free by
+// construction.
+type Tokens struct {
+	ch chan struct{}
+}
+
+// NewTokens returns a budget of n tokens; n <= 0 means GOMAXPROCS.
+func NewTokens(n int) *Tokens {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Tokens{ch: make(chan struct{}, n)}
+}
+
+// Cap returns the budget size. A nil budget reports 0 (unlimited).
+func (t *Tokens) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ch)
+}
+
+// Acquire takes one token, blocking until one is free. No-op on nil.
+func (t *Tokens) Acquire() {
+	if t != nil {
+		t.ch <- struct{}{}
+	}
+}
+
+// Release returns a token taken by Acquire. No-op on nil.
+func (t *Tokens) Release() {
+	if t != nil {
+		<-t.ch
+	}
+}
 
 // Run executes fn(i) for every i in [0, n) on up to `workers` goroutines
 // (at least 1; capped at n). If any call returns an error, no further
 // items are handed out, in-flight calls finish, and the first error is
 // returned. fn must be safe for concurrent invocation on distinct items.
 func Run(n, workers int, fn func(i int) error) error {
+	return RunShared(n, workers, nil, func(_, i int) error { return fn(i) })
+}
+
+// RunShared is Run under a shared token budget: each work item is
+// processed while holding one token from tok (nil tok waives the budget),
+// and fn additionally receives the dense worker slot index in
+// [0, min(workers, n)) of the goroutine processing the item, so callers
+// can keep per-worker scratch state (estimator engines, reusable buffers)
+// without locking. Items are handed out in order but complete in any
+// order; the single-worker path runs inline with no goroutines.
+func RunShared(n, workers int, tok *Tokens, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -27,7 +89,10 @@ func Run(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			tok.Acquire()
+			err := fn(0, i)
+			tok.Release()
+			if err != nil {
 				return err
 			}
 		}
@@ -48,15 +113,18 @@ func Run(n, workers int, fn func(i int) error) error {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i); err != nil {
+				tok.Acquire()
+				err := fn(w, i)
+				tok.Release()
+				if err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 produce:
 	for i := 0; i < n; i++ {

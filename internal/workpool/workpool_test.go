@@ -59,6 +59,101 @@ func TestRunReturnsFirstErrorAndStops(t *testing.T) {
 	}
 }
 
+func TestRunSharedWorkerSlotsAreDense(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var mu sync.Mutex
+		slots := map[int]bool{}
+		if err := RunShared(50, workers, nil, func(w, i int) error {
+			mu.Lock()
+			slots[w] = true
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		max := workers
+		if max > 50 {
+			max = 50
+		}
+		for w := range slots {
+			if w < 0 || w >= max {
+				t.Fatalf("workers=%d: slot %d outside [0,%d)", workers, w, max)
+			}
+		}
+	}
+}
+
+// TestTokensBoundGlobalConcurrency runs several pools against one shared
+// budget and checks the number of simultaneously active items never
+// exceeds the budget — the invariant the sweep runner relies on.
+func TestTokensBoundGlobalConcurrency(t *testing.T) {
+	const budget = 3
+	tok := NewTokens(budget)
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for pool := 0; pool < 4; pool++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = RunShared(40, 8, tok, func(_, _ int) error {
+				n := active.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+				active.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Fatalf("peak active items %d exceeds budget %d", p, budget)
+	}
+}
+
+func TestNilTokensAreNoOp(t *testing.T) {
+	var tok *Tokens
+	tok.Acquire()
+	tok.Release()
+	if tok.Cap() != 0 {
+		t.Fatal("nil budget should report Cap 0")
+	}
+	if NewTokens(0).Cap() <= 0 {
+		t.Fatal("defaulted budget must be positive")
+	}
+}
+
+func TestRunSharedPropagatesErrorUnderBudget(t *testing.T) {
+	boom := errors.New("boom")
+	tok := NewTokens(2)
+	err := RunShared(1000, 4, tok, func(_, i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The budget must be fully returned: both tokens acquirable without
+	// blocking.
+	done := make(chan struct{})
+	go func() {
+		tok.Acquire()
+		tok.Acquire()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tokens leaked after an error run")
+	}
+}
+
 // TestRunAllWorkersFailNoDeadlock is the pool-level deadlock regression
 // test: every worker errors immediately, with far more items than workers;
 // the producer must drain instead of blocking on an unbuffered send.

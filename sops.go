@@ -39,7 +39,9 @@ import (
 	"repro/internal/rngx"
 	"repro/internal/sim"
 	"repro/internal/statcomplex"
+	"repro/internal/sweep"
 	"repro/internal/vec"
+	"repro/internal/workpool"
 )
 
 // Geometry.
@@ -246,6 +248,45 @@ var (
 	// DifferentialEntropyKL is the Kozachenko–Leonenko entropy
 	// estimator; TrackEntropies on a Pipeline records its profile.
 	DifferentialEntropyKL = infotheory.DifferentialEntropyKL
+)
+
+// Sweep orchestration: batched multi-run experiments under one global
+// worker budget, with per-run checkpointing and resume (see DESIGN.md
+// "Sweep orchestration").
+type (
+	// SweepSpec is one run of a sweep: a pipeline plus a unique ID.
+	SweepSpec = experiment.SweepSpec
+	// Sweeper executes batches of pipeline runs in spec order.
+	Sweeper = experiment.Sweeper
+	// SerialSweeper is the serial reference implementation.
+	SerialSweeper = experiment.SerialSweeper
+	// SweepRunner runs specs concurrently under a shared worker budget
+	// with optional gob checkpointing; implements Sweeper.
+	SweepRunner = sweep.Runner
+	// SweepScenario is a named, registry-provided sweep family.
+	SweepScenario = sweep.Scenario
+	// SweepGrid is the JSON-loadable custom grid description.
+	SweepGrid = sweep.GridSpec
+	// WorkerBudget is a shared pool of execution tokens that bounds the
+	// machine-wide active work of any number of concurrent pipelines.
+	WorkerBudget = workpool.Tokens
+)
+
+var (
+	// NewWorkerBudget allocates a budget of n tokens (0 = GOMAXPROCS).
+	NewWorkerBudget = workpool.NewTokens
+	// SweepScenarios lists the registered named sweeps; LookupSweepScenario
+	// finds one by name.
+	SweepScenarios      = sweep.Scenarios
+	LookupSweepScenario = sweep.LookupScenario
+	// LoadSweepGrid reads a custom-grid JSON spec.
+	LoadSweepGrid = sweep.LoadGridSpec
+	// AverageMI runs repeated pipelines through a Sweeper and returns the
+	// pointwise-mean MI curve; MeanMICurve / MeanDeltaI are the ordered
+	// reducers behind the sweep figures.
+	AverageMI   = experiment.AverageMI
+	MeanMICurve = experiment.MeanMICurve
+	MeanDeltaI  = experiment.MeanDeltaI
 )
 
 // Statistical complexity (the Sec. 3 alternative measure) and persistence.
