@@ -7,6 +7,7 @@
 package sops_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -107,7 +108,7 @@ func BenchmarkFig07AlignedOverlay(b *testing.B) {
 
 func BenchmarkFig08TypeCountSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig8TypeCountSweep(nil, benchScale(), 4, benchSeed); err != nil {
+		if _, err := experiment.Fig8TypeCountSweep(context.Background(), nil, benchScale(), 4, benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func BenchmarkFig08TypeCountSweep(b *testing.B) {
 
 func BenchmarkFig09CutoffSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig9CutoffSweep(nil, benchScale(), benchSeed); err != nil {
+		if _, err := experiment.Fig9CutoffSweep(context.Background(), nil, benchScale(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +124,7 @@ func BenchmarkFig09CutoffSweep(b *testing.B) {
 
 func BenchmarkFig10TypesVsCutoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig10TypesVsCutoff(nil, benchScale(), benchSeed); err != nil {
+		if _, err := experiment.Fig10TypesVsCutoff(context.Background(), nil, benchScale(), benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func BenchmarkFig12EmergentStructures(b *testing.B) {
 
 func BenchmarkEstimatorComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		table, err := experiment.EstimatorComparison(nil, 4, 100, 2, 0.6, 4, benchSeed)
+		table, err := experiment.EstimatorComparison(context.Background(), nil, 4, 100, 2, 0.6, 4, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}

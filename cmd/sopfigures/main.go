@@ -5,6 +5,8 @@
 //
 //	sopfigures [-scale quick|paper|test] [-seed N] [-out DIR]
 //	           [-runs N] [-budget N] [-checkpoint DIR] <figure>
+//	sopfigures [flags] -spec file.json        # run any declarative spec
+//	sopfigures [flags] -dump-spec <figure>    # print the figure's spec
 //
 // where <figure> is one of fig1 … fig12, estimators, or all. Each figure is
 // written to DIR as CSV (curves) and/or SVG (configurations), and a compact
@@ -12,22 +14,39 @@
 // the paper's curve shapes at laptop cost; -scale paper reproduces the full
 // ensemble sizes (m = 500, 10 repeat draws — hours of CPU for the sweeps).
 //
-// The sweep figures (8–10, estimators) execute through sweep.Runner:
-// -runs bounds the in-flight pipelines, -budget the global worker tokens
-// shared by all of their stages, and -checkpoint makes the sweep
-// resumable (one gob file per completed run). Outputs are bit-identical
-// for every -runs/-budget setting; see also cmd/sopsweep.
+// The measurement figures have a declarative sops.Spec form: -dump-spec
+// prints it (pipeline figures fig4/fig5/fig11 as explicit single-run
+// specs with the drawn matrices pinned; sweep figures fig8/fig9/fig10 as
+// scenario specs), and -spec runs any spec file through a Session —
+// `sopfigures -dump-spec fig9 > f.json && sopfigures -spec f.json`
+// regenerates the same figure data (CSV byte-identical; the SVG of a
+// replayed pipeline figure carries a generic title derived from the spec
+// name). Snapshot figures (1, 3, 6, 7, 12) and the force-curve plot (2)
+// are bespoke drivers without a spec form.
+//
+// The sweep figures (8–10, estimators) execute through the budgeted
+// concurrent runner: -runs bounds the in-flight pipelines, -budget the
+// global worker tokens shared by all of their stages, and -checkpoint
+// makes the sweep resumable (one file per completed run). SIGINT cancels
+// gracefully: completed runs keep their checkpoints and the identical
+// command resumes. Outputs are bit-identical for every -runs/-budget
+// setting; see also cmd/sopsweep.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
+	sops "repro"
 	"repro/internal/experiment"
 	"repro/internal/plot"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/workpool"
 )
@@ -43,27 +62,20 @@ func main() {
 		runs      = flag.Int("runs", 0, "concurrent pipeline runs for the sweep figures (0 = GOMAXPROCS, 1 = serial)")
 		budget    = flag.Int("budget", 0, "global worker budget shared by all in-flight sweep runs (0 = GOMAXPROCS)")
 		ckpt      = flag.String("checkpoint", "", "checkpoint directory for sweep runs; an interrupted sweep resumes from it")
+		specFile  = flag.String("spec", "", "run a declarative spec file instead of a named figure")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the figure's declarative spec JSON and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sopfigures [flags] <fig1|...|fig12|estimators|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	var sc experiment.Scale
-	switch *scaleName {
-	case "quick":
-		sc = experiment.QuickScale()
-	case "paper":
-		sc = experiment.PaperScale()
-	case "test":
-		sc = experiment.TestScale()
-	default:
-		fmt.Fprintf(os.Stderr, "sopfigures: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
 	}
 	if *mOverride > 0 {
 		sc.M = *mOverride
@@ -74,32 +86,137 @@ func main() {
 	if *repeatsOv > 0 {
 		sc.Repeats = *repeatsOv
 	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
-	}
-	// The sweep figures (8–10, estimators) run their grids through one
-	// budgeted concurrent runner; everything else is a single pipeline
-	// and ignores it.
-	sw := &sweep.Runner{
+	r := runner{sc: sc, seed: *seed, out: *outDir, ctx: ctx, sw: &sweep.Runner{
 		Concurrency: *runs,
 		Tokens:      workpool.NewTokens(*budget),
 		Dir:         *ckpt,
-	}
-	r := runner{sc: sc, seed: *seed, out: *outDir, sw: sw}
+	}}
 
+	if *specFile != "" {
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-spec replaces the figure argument"))
+		}
+		sp, err := sops.LoadSpec(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		// Same resolution as sopsweep: the file is authoritative, the
+		// flags fill what it leaves open — never silently ignored.
+		sp.MergeCLIOverrides(*scaleName, *seed, *mOverride, *stepsOv, *repeatsOv)
+		if err := sp.Validate(); err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		session := sops.NewSession(
+			sops.WithWorkerBudget(*budget),
+			sops.WithRunConcurrency(*runs),
+			sops.WithCheckpointDir(*ckpt),
+		)
+		fd, err := session.Figure(ctx, sp)
+		if err != nil {
+			fatal(interruptMsg(err, *ckpt))
+		}
+		if err := r.saveFigure(fd); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
 	target := strings.ToLower(flag.Arg(0))
+
+	if *dumpSpec {
+		sp, err := specFor(target, sc, *scaleName, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := sp.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
 	all := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "estimators"}
 	if target == "all" {
 		for _, f := range all {
 			if err := r.run(f); err != nil {
-				fatal(fmt.Errorf("%s: %w", f, err))
+				fatal(interruptMsg(fmt.Errorf("%s: %w", f, err), *ckpt))
 			}
 		}
 		return
 	}
 	if err := r.run(target); err != nil {
-		fatal(fmt.Errorf("%s: %w", target, err))
+		fatal(interruptMsg(fmt.Errorf("%s: %w", target, err), *ckpt))
+	}
+}
+
+// interruptMsg decorates a cancellation with what actually happened to
+// the work: resumable only if a checkpoint directory was in use.
+func interruptMsg(err error, ckptDir string) error {
+	if !errors.Is(err, context.Canceled) {
+		return err
+	}
+	if ckptDir != "" {
+		return fmt.Errorf("interrupted — completed sweep runs are checkpointed; rerun with the same -checkpoint to resume: %w", err)
+	}
+	return fmt.Errorf("interrupted — no -checkpoint was set, so nothing was persisted: %w", err)
+}
+
+// scaleByName is the spec layer's preset lookup; the CLI's flag default
+// guarantees the name is never empty.
+func scaleByName(name string) (experiment.Scale, error) {
+	return spec.ScaleByName(name)
+}
+
+// specFor returns the declarative spec of a figure: explicit single-run
+// specs for the pipeline figures (the drawn matrices are pinned in the
+// spec, so the file alone reproduces the figure), scenario specs for the
+// sweep figures.
+func specFor(fig string, sc experiment.Scale, scaleName string, seed uint64) (sops.Spec, error) {
+	switch fig {
+	case "fig4":
+		return sops.SpecFromPipeline(experiment.Fig4PipelineOf(sc, seed))
+	case "fig5":
+		return sops.SpecFromPipeline(experiment.Fig5PipelineOf(sc, seed))
+	case "fig11":
+		return sops.SpecFromPipeline(experiment.Fig11PipelineOf(sc, seed))
+	case "fig8", "fig9", "fig10":
+		s, ok := sweep.LookupScenario(fig)
+		if !ok {
+			return sops.Spec{}, fmt.Errorf("scenario %q missing from the registry", fig)
+		}
+		sp := s.Spec(scaleName, seed)
+		// Fold the -m/-steps/-repeats overrides into explicit spec
+		// fields, so the dumped file reproduces this exact invocation.
+		preset, err := scaleByName(scaleName)
+		if err != nil {
+			return sops.Spec{}, err
+		}
+		if sc.M != preset.M || sc.Steps != preset.Steps {
+			sp.Ensemble = &sops.SpecEnsemble{}
+			if sc.M != preset.M {
+				sp.Ensemble.M = sc.M
+			}
+			if sc.Steps != preset.Steps {
+				sp.Ensemble.Steps = sc.Steps
+			}
+		}
+		if sc.Repeats != preset.Repeats {
+			sp.Sweep = &sops.SpecSweep{Repeats: sc.Repeats}
+		}
+		return sp, nil
+	default:
+		return sops.Spec{}, fmt.Errorf("figure %q has no declarative spec form (snapshot and force-curve figures are bespoke drivers)", fig)
 	}
 }
 
@@ -112,6 +229,7 @@ type runner struct {
 	sc   experiment.Scale
 	seed uint64
 	out  string
+	ctx  context.Context
 	sw   experiment.Sweeper
 }
 
@@ -133,7 +251,7 @@ func (r runner) run(fig string) error {
 		}
 		return r.saveConfigs(fig, cfgs)
 	case "fig4":
-		res, err := experiment.Fig4Pipeline(r.sc, r.seed)
+		res, err := experiment.Fig4PipelineOf(r.sc, r.seed).RunCtx(r.ctx)
 		if err != nil {
 			return err
 		}
@@ -141,7 +259,7 @@ func (r runner) run(fig string) error {
 		fmt.Printf("equilibrated fraction: %.2f\n", res.EquilibratedFraction)
 		return r.saveFigure(fd)
 	case "fig5":
-		res, err := experiment.Fig5SingleTypeRings(r.sc, r.seed)
+		res, err := experiment.Fig5PipelineOf(r.sc, r.seed).RunCtx(r.ctx)
 		if err != nil {
 			return err
 		}
@@ -155,7 +273,7 @@ func (r runner) run(fig string) error {
 		snaps := experiment.Fig6Snapshots(res, []int{60, res.Times[len(res.Times)-1]}, 4)
 		return r.saveConfigs(fig, snaps)
 	case "fig7":
-		res, err := experiment.Fig5SingleTypeRings(r.sc, r.seed)
+		res, err := experiment.Fig5PipelineOf(r.sc, r.seed).RunCtx(r.ctx)
 		if err != nil {
 			return err
 		}
@@ -164,19 +282,19 @@ func (r runner) run(fig string) error {
 		ov := experiment.Fig7AlignedOverlay(res)
 		return r.saveConfigs(fig, []experiment.TypedConfig{*ov})
 	case "fig8":
-		fd, err := experiment.Fig8TypeCountSweep(r.sw, r.sc, 10, r.seed)
+		fd, err := experiment.Fig8TypeCountSweep(r.ctx, r.sw, r.sc, 10, r.seed)
 		if err != nil {
 			return err
 		}
 		return r.saveFigure(fd)
 	case "fig9":
-		fd, err := experiment.Fig9CutoffSweep(r.sw, r.sc, r.seed)
+		fd, err := experiment.Fig9CutoffSweep(r.ctx, r.sw, r.sc, r.seed)
 		if err != nil {
 			return err
 		}
 		return r.saveFigure(fd)
 	case "fig10":
-		fd, err := experiment.Fig10TypesVsCutoff(r.sw, r.sc, r.seed)
+		fd, err := experiment.Fig10TypesVsCutoff(r.ctx, r.sw, r.sc, r.seed)
 		if err != nil {
 			return err
 		}
@@ -194,7 +312,7 @@ func (r runner) run(fig string) error {
 		}
 		return r.saveConfigs(fig, cfgs)
 	case "estimators":
-		table, err := experiment.EstimatorComparison(r.sw, 5, 200, max(2, r.sc.Repeats), 0.6, 4, r.seed)
+		table, err := experiment.EstimatorComparison(r.ctx, r.sw, 5, 200, max(2, r.sc.Repeats), 0.6, 4, r.seed)
 		if err != nil {
 			return err
 		}

@@ -17,6 +17,12 @@
 // Estimation runs on the shared tree engine; -workers partitions the
 // samples of each estimate across that many goroutines (useful for large
 // CSVs — the result is bit-identical for every setting).
+//
+// The estimation stage is declarative: `-spec file.json` reads the
+// estimator block (kind, k, bins, workers) of a sops.Spec — the same spec
+// the other commands produce — and `-dump-spec` prints the resolved block
+// as a spec file, so an estimator configuration travels between the
+// simulation CLIs and external-data analysis unchanged.
 package main
 
 import (
@@ -27,19 +33,62 @@ import (
 	"strconv"
 	"strings"
 
+	sops "repro"
+	"repro/internal/experiment"
 	"repro/internal/infotheory"
 )
 
 func main() {
 	var (
-		est     = flag.String("est", "ksg2", "estimator: ksg2, ksg1, ksg-paper, kernel, binned")
-		k       = flag.Int("k", 4, "k-NN parameter for the KSG estimators")
-		bins    = flag.Int("bins", 8, "bins per dimension for the binned estimator")
-		dims    = flag.String("dims", "", "comma-separated variable dimensions (default: every column is a 1-D variable)")
-		groups  = flag.String("groups", "", "comma-separated group label per variable; prints the Eq. (5) decomposition")
-		workers = flag.Int("workers", 1, "sample-parallel goroutines per estimate (results are identical for every setting)")
+		est      = flag.String("est", "ksg2", "estimator: ksg2, ksg1, ksg-paper, kernel, binned")
+		k        = flag.Int("k", 4, "k-NN parameter for the KSG estimators")
+		bins     = flag.Int("bins", 8, "bins per dimension for the binned estimator")
+		dims     = flag.String("dims", "", "comma-separated variable dimensions (default: every column is a 1-D variable)")
+		groups   = flag.String("groups", "", "comma-separated group label per variable; prints the Eq. (5) decomposition")
+		workers  = flag.Int("workers", 1, "sample-parallel goroutines per estimate (results are identical for every setting)")
+		specFile = flag.String("spec", "", "read the estimator block (kind/k/bins/workers) from a spec JSON file")
+		dumpSpec = flag.Bool("dump-spec", false, "print the resolved estimator spec JSON and exit")
 	)
 	flag.Parse()
+
+	esp := &sops.SpecEstimator{Kind: *est, K: *k, Bins: *bins, SampleWorkers: *workers}
+	if *specFile != "" {
+		sp, err := sops.LoadSpec(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if sp.Estimator == nil {
+			fatal(fmt.Errorf("spec %s has no estimator block", *specFile))
+		}
+		// Same resolution policy as the sibling CLIs: the file is
+		// authoritative, the flags fill what it leaves open — never
+		// silently ignored.
+		esp = sp.Estimator
+		if esp.Kind == "" {
+			esp.Kind = *est
+		}
+		if esp.K == 0 {
+			esp.K = *k
+		}
+		if esp.Bins == 0 {
+			esp.Bins = *bins
+		}
+		if esp.SampleWorkers == 0 {
+			esp.SampleWorkers = *workers
+		}
+	}
+	if *dumpSpec {
+		sp := sops.Spec{Version: sops.SpecVersion, Name: "sopinfo", Estimator: esp}
+		if err := sp.Validate(); err != nil {
+			fatal(err)
+		}
+		b, err := sp.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sopinfo [flags] file.csv")
 		flag.PrintDefaults()
@@ -56,35 +105,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := validateKSGK(*est, *k, ds.NumSamples()); err != nil {
+	kind := experiment.EstimatorKind(esp.Kind)
+	if err := validateKSGK(kind, esp.K, ds.NumSamples()); err != nil {
 		fatal(err)
 	}
 
 	// One engine serves the whole run (the headline estimate, and every
 	// term of the decomposition below): its k-d trees and scratch stores
-	// are recycled call to call.
-	engine := infotheory.NewEngine(*workers)
-	var estimator infotheory.Estimator
-	switch *est {
-	case "ksg2":
-		estimator = engine.KSGVariantEstimator(*k, infotheory.KSG2)
-	case "ksg1":
-		estimator = engine.KSGVariantEstimator(*k, infotheory.KSG1)
-	case "ksg-paper":
-		estimator = engine.KSGVariantEstimator(*k, infotheory.KSGPaper)
-	case "kernel":
-		estimator = engine.MultiInfoKernel
-	case "binned":
-		estimator = func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoBinned(d, infotheory.BinnedOptions{Bins: *bins})
-		}
-	default:
-		fatal(fmt.Errorf("unknown estimator %q", *est))
+	// are recycled call to call. An unknown kind surfaces as the typed
+	// experiment.UnknownEstimatorError, which lists the valid kinds.
+	engine := infotheory.NewEngine(esp.SampleWorkers)
+	estimator, err := experiment.NewEstimator(kind, esp.K, esp.Bins, engine)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("samples: %d, variables: %d (total dimension %d)\n",
 		ds.NumSamples(), ds.NumVars(), ds.TotalDim())
-	fmt.Printf("multi-information (%s): %.4f bits\n", *est, estimator(ds))
+	fmt.Printf("multi-information (%s): %.4f bits\n", esp.Kind, estimator(ds))
 
 	if *groups != "" {
 		labels, err := parseInts(*groups)
@@ -115,9 +153,8 @@ func fatal(err error) {
 // One check covers the headline estimate and every decomposition term:
 // the Eq. (5) decomposition selects variable subsets, never sample
 // subsets, so each group estimate sees the same m rows.
-func validateKSGK(est string, k, samples int) error {
-	switch est {
-	case "ksg2", "ksg1", "ksg-paper":
+func validateKSGK(est experiment.EstimatorKind, k, samples int) error {
+	if est.UsesKNN() {
 		if k < 1 || k >= samples {
 			return fmt.Errorf("-k %d needs 1 <= k < samples, but the CSV has %d data rows; "+
 				"pass a smaller -k or provide at least k+1 samples", k, samples)

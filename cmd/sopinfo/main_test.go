@@ -1,6 +1,8 @@
 package main
 
 import (
+	"repro/internal/experiment"
+
 	"math"
 	"os"
 	"path/filepath"
@@ -125,7 +127,7 @@ func TestValidateKSGKTinyCSV(t *testing.T) {
 	if ds.NumSamples() != 3 {
 		t.Fatalf("samples = %d", ds.NumSamples())
 	}
-	for _, est := range []string{"ksg2", "ksg1", "ksg-paper"} {
+	for _, est := range []experiment.EstimatorKind{experiment.EstKSG2, experiment.EstKSG1, experiment.EstKSGPaper} {
 		if err := validateKSGK(est, 4, ds.NumSamples()); err == nil {
 			t.Fatalf("%s: default k=4 on 3 samples accepted", est)
 		}
@@ -140,7 +142,7 @@ func TestValidateKSGKTinyCSV(t *testing.T) {
 		}
 	}
 	// The non-kNN estimators ignore k entirely.
-	for _, est := range []string{"kernel", "binned"} {
+	for _, est := range []experiment.EstimatorKind{experiment.EstKernel, experiment.EstBinned} {
 		if err := validateKSGK(est, 99, ds.NumSamples()); err != nil {
 			t.Fatalf("%s: k should be ignored: %v", est, err)
 		}

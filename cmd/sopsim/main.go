@@ -8,9 +8,16 @@
 //
 //	sopsim [-n 30] [-types 3] [-force F1|F2] [-rc 5] [-steps 250]
 //	       [-seed 1] [-svg out.svg] [-csv out.csv]
+//	sopsim -spec file.json [-steps 250]    # simulate a spec's sim block
+//	sopsim [flags] -dump-spec              # print the resolved spec JSON
 //
 // The interaction matrices are drawn randomly from the paper's ranges
 // (F1: k ∈ [1,10), r ∈ [1,5); F2: σ = 1, τ ∈ [1,10)); pass -seed to vary.
+// Every invocation resolves to a declarative sops.Spec and is validated
+// through Spec.Validate before anything runs — the same rules the library
+// enforces — and -dump-spec captures the drawn matrices, so an
+// interesting random draw can be pinned to a file and replayed or handed
+// to the measurement pipeline.
 package main
 
 import (
@@ -20,10 +27,10 @@ import (
 	"os"
 	"strings"
 
+	sops "repro"
 	"repro/internal/forces"
 	"repro/internal/plot"
 	"repro/internal/rngx"
-	"repro/internal/sim"
 	"repro/internal/vec"
 )
 
@@ -37,32 +44,36 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		svgPath   = flag.String("svg", "", "write final configuration as SVG")
 		csvPath   = flag.String("csv", "", "write net-force trace as CSV")
+		specFile  = flag.String("spec", "", "simulate the sim block of a spec JSON file instead of the flags")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the resolved spec JSON (with the drawn matrices) and exit")
 	)
 	flag.Parse()
 
-	rng := rngx.New(*seed)
-	var force forces.Scaling
-	switch strings.ToUpper(*forceName) {
-	case "F1":
-		force = forces.RandomF1(*l, 1, 10, 1, 5, rng)
-	case "F2":
-		force = forces.RandomF2(*l, 1, 10, 1, 10, rng)
-	default:
-		fmt.Fprintf(os.Stderr, "sopsim: unknown force %q\n", *forceName)
-		os.Exit(2)
-	}
-	cutoff := *rc
-	if cutoff == 0 {
-		cutoff = math.Inf(1)
-	}
-	cfg := sim.Config{N: *n, Force: force, Cutoff: cutoff}
-	sys, err := sim.New(cfg, rngx.Split(*seed, 1))
+	sp, err := resolveSpec(*specFile, *n, *l, *forceName, *rc, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sopsim:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	// The single validation gate: flag-built and file-loaded specs are
+	// held to exactly the rules the library enforces.
+	if err := sp.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dumpSpec {
+		b, err := sp.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		return
 	}
 
-	detector := &sim.CycleDetector{Tolerance: 0.15, MaxPeriod: 40}
+	session := sops.NewSession()
+	sys, err := session.System(sp)
+	if err != nil {
+		fatal(err)
+	}
+
+	detector := &sops.CycleDetector{Tolerance: 0.15, MaxPeriod: 40}
 	var times, netForces []float64
 	equilibriumAt := -1
 	for k := 0; k < *steps; k++ {
@@ -75,10 +86,11 @@ func main() {
 		}
 	}
 
+	cfg := sys.Config()
 	fmt.Printf("force %s with %d types, %d particles, rc=%g, %d steps\n",
-		force.Name(), *l, *n, cutoff, *steps)
+		cfg.Force.Name(), cfg.Force.Types(), cfg.N, cfg.Cutoff, *steps)
 	fmt.Printf("final net force: %.3f (threshold %.3f)\n",
-		sys.NetForce(), sys.Config().EquilibriumThreshold)
+		sys.NetForce(), cfg.EquilibriumThreshold)
 	switch {
 	case equilibriumAt >= 0:
 		fmt.Printf("terminal state: equilibrium (first reached at step %d)\n", equilibriumAt)
@@ -98,24 +110,60 @@ func main() {
 	if *svgPath != "" {
 		svg := plot.SVGScatter("sopsim final configuration", sys.Positions(), sys.Types(), 480)
 		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "sopsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println("wrote", *svgPath)
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sopsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := plot.WriteSeriesCSV(f, []string{"netforce"}, [][]float64{times}, [][]float64{netForces}); err != nil {
-			fmt.Fprintln(os.Stderr, "sopsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println("wrote", *csvPath)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sopsim:", err)
+	os.Exit(1)
+}
+
+// resolveSpec builds the invocation's declarative spec: from a file, or
+// from the flags with the random interaction matrices drawn and pinned
+// (so -dump-spec output replays this exact system).
+func resolveSpec(specFile string, n, l int, forceName string, rc float64, seed uint64) (sops.Spec, error) {
+	if specFile != "" {
+		sp, err := sops.LoadSpec(specFile)
+		if err != nil {
+			return sops.Spec{}, err
+		}
+		if sp.Sim == nil {
+			return sops.Spec{}, fmt.Errorf("spec %s has no sim block to simulate", specFile)
+		}
+		return sp, nil
+	}
+	rng := rngx.New(seed)
+	var force forces.Scaling
+	switch strings.ToUpper(forceName) {
+	case "F1":
+		force = forces.RandomF1(l, 1, 10, 1, 5, rng)
+	case "F2":
+		force = forces.RandomF2(l, 1, 10, 1, 10, rng)
+	default:
+		return sops.Spec{}, fmt.Errorf("unknown force %q (want F1 or F2)", forceName)
+	}
+	cutoff := rc
+	if cutoff == 0 {
+		cutoff = math.Inf(1)
+	}
+	return sops.NewSpec("sopsim",
+		sops.WithSeed(seed),
+		sops.WithSim(sops.SimConfig{N: n, Force: force, Cutoff: cutoff}),
+	)
 }
 
 // renderASCII draws the typed configuration on a character grid, digits

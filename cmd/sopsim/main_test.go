@@ -38,3 +38,38 @@ func TestRenderASCIITypeWraparound(t *testing.T) {
 		t.Errorf("type digits wrong:\n%s", out)
 	}
 }
+
+// TestResolveSpecValidation: flag-built specs pass through Spec.Validate,
+// so the CLI rejects exactly the configs the library rejects.
+func TestResolveSpecValidation(t *testing.T) {
+	if _, err := resolveSpec("", 30, 3, "F3", 5, 1); err == nil {
+		t.Fatal("unknown force family accepted")
+	}
+	if _, err := resolveSpec("", 0, 3, "F1", 5, 1); err == nil {
+		t.Fatal("n=0 accepted (previously built an invalid config unvalidated)")
+	}
+	if _, err := resolveSpec("", -5, 3, "F1", 5, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	sp, err := resolveSpec("", 30, 3, "F1", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Sim == nil || sp.Sim.N != 30 || sp.Sim.Force == nil {
+		t.Fatalf("spec = %+v", sp)
+	}
+	if sp.Sim.Cutoff != 0 {
+		t.Fatalf("rc=0 (infinite) should serialise as omitted, got %g", sp.Sim.Cutoff)
+	}
+	// The drawn matrices are pinned: the same seed resolves to the same
+	// spec, so -dump-spec output replays the exact system.
+	again, err := resolveSpec("", 30, 3, "F1", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := sp.MarshalIndent()
+	b2, _ := again.MarshalIndent()
+	if string(b1) != string(b2) {
+		t.Fatal("same seed produced different specs")
+	}
+}

@@ -3,10 +3,17 @@
 // worker budget, with optional per-run checkpointing so an interrupted
 // sweep resumes from what is already on disk.
 //
+// Every invocation resolves to one declarative sops.Spec and executes it
+// through a sops.Session: `-scenario` names a registered spec, `-spec`
+// loads one from JSON (the versioned Spec format; legacy grid files are
+// still accepted), and `-dump-spec` prints the fully resolved spec
+// instead of running it, so any invocation can be captured, versioned and
+// replayed exactly.
+//
 // Usage:
 //
 //	sopsweep [flags] -scenario <name>     # named scenario from the registry
-//	sopsweep [flags] -spec grid.json      # custom grid from a JSON spec
+//	sopsweep [flags] -spec file.json      # spec file (scenario, grid, or single run)
 //	sopsweep -list                        # list registered scenarios
 //
 // Flags:
@@ -19,42 +26,50 @@
 //	                          1 = serial run order)
 //	-budget N                 global worker tokens shared by all stages
 //	                          of all in-flight runs (0 = GOMAXPROCS)
-//	-checkpoint DIR           write one gob file per completed run and
+//	-checkpoint DIR           write one file per completed run and
 //	                          resume from matching files already present
 //	-out DIR                  output directory (CSV + SVG per figure)
+//	-dump-spec                print the resolved spec JSON and exit
 //
-// Results are bit-identical for every -runs/-budget setting and for a
-// resumed versus uninterrupted sweep; see DESIGN.md "Sweep
-// orchestration".
+// SIGINT cancels the sweep gracefully: in-flight runs stop within one
+// worker-token grant, completed runs keep their checkpoints, and
+// re-running the identical command with the same -checkpoint resumes and
+// produces byte-identical output. Results are bit-identical for every
+// -runs/-budget setting; see DESIGN.md "Public API".
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 
-	"repro/internal/experiment"
+	sops "repro"
 	"repro/internal/plot"
 	"repro/internal/sweep"
-	"repro/internal/workpool"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sopsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sopsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		scenario  = fs.String("scenario", "", "named scenario to run (see -list)")
-		specFile  = fs.String("spec", "", "JSON grid spec file for a custom sweep")
+		specFile  = fs.String("spec", "", "spec JSON file (scenario, grid, or single run)")
 		list      = fs.Bool("list", false, "list registered scenarios and exit")
+		dumpSpec  = fs.Bool("dump-spec", false, "print the resolved spec JSON and exit without running")
 		scaleName = fs.String("scale", "quick", "ensemble scale: quick, paper, or test")
 		seed      = fs.Uint64("seed", 2012, "master seed")
 		mOverride = fs.Int("m", 0, "override the ensemble size M of the chosen scale")
@@ -78,60 +93,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if (*scenario == "") == (*specFile == "") {
 		return fmt.Errorf("exactly one of -scenario or -spec is required (or -list)")
 	}
-	var sc experiment.Scale
-	switch *scaleName {
-	case "quick":
-		sc = experiment.QuickScale()
-	case "paper":
-		sc = experiment.PaperScale()
-	case "test":
-		sc = experiment.TestScale()
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleName)
-	}
-	if *mOverride > 0 {
-		sc.M = *mOverride
-	}
-	if *stepsOv > 0 {
-		sc.Steps = *stepsOv
-	}
-	if *repeatsOv > 0 {
-		sc.Repeats = *repeatsOv
-	}
 
-	runner := &sweep.Runner{
-		Concurrency: *runs,
-		Tokens:      workpool.NewTokens(*budget),
-		Dir:         *ckptDir,
-	}
-	if !*quiet {
-		runner.OnRunDone = func(i int, spec experiment.SweepSpec, _ *experiment.Result, fromCheckpoint bool) {
-			suffix := ""
-			if fromCheckpoint {
-				suffix = " (from checkpoint)"
-			}
-			fmt.Fprintf(stderr, "done %s%s\n", spec.ID, suffix)
-		}
-	}
-
-	var fd *experiment.FigureData
-	var err error
-	switch {
-	case *scenario != "":
-		s, ok := sweep.LookupScenario(*scenario)
-		if !ok {
-			return fmt.Errorf("unknown scenario %q (use -list)", *scenario)
-		}
-		fd, err = s.Run(runner, sc, *seed)
-	default:
-		var g *sweep.GridSpec
-		if g, err = sweep.LoadGridSpec(*specFile); err != nil {
-			return err
-		}
-		fd, err = g.Figure(runner, sc, *seed)
-	}
+	sp, err := resolveSpec(*scenario, *specFile, *scaleName, *seed)
 	if err != nil {
 		return err
+	}
+	// The spec (file or scenario) is authoritative; flags fill only what
+	// it leaves open — one shared policy for every CLI.
+	sp.MergeCLIOverrides(*scaleName, *seed, *mOverride, *stepsOv, *repeatsOv)
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	if *dumpSpec {
+		b, err := sp.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(b)
+		return err
+	}
+
+	session := sops.NewSession(
+		sops.WithWorkerBudget(*budget),
+		sops.WithRunConcurrency(*runs),
+		sops.WithCheckpointDir(*ckptDir),
+	)
+	if !*quiet {
+		defer session.Subscribe(func(ev sops.ProgressEvent) {
+			if ev.Kind != sops.ProgressRunDone {
+				return
+			}
+			suffix := ""
+			if ev.FromCheckpoint {
+				suffix = " (from checkpoint)"
+			}
+			fmt.Fprintf(stderr, "done %s%s\n", ev.Run, suffix)
+		})()
+	}
+
+	fd, err := session.Figure(ctx, sp)
+	if err != nil {
+		return interruptMsg(err, *ckptDir)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -139,9 +141,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return saveFigure(stdout, *outDir, fd)
 }
 
+// interruptMsg decorates a cancellation with what actually happened to
+// the work: resumable only if a checkpoint directory was in use.
+func interruptMsg(err error, ckptDir string) error {
+	if !errors.Is(err, context.Canceled) {
+		return err
+	}
+	if ckptDir != "" {
+		return fmt.Errorf("interrupted — completed runs are checkpointed; rerun with the same -checkpoint to resume: %w", err)
+	}
+	return fmt.Errorf("interrupted — no -checkpoint was set, so nothing was persisted: %w", err)
+}
+
+// resolveSpec turns the invocation into one declarative spec: a named
+// scenario, a versioned Spec file, or a legacy grid file (auto-detected
+// and converted).
+func resolveSpec(scenario, specFile, scale string, seed uint64) (sops.Spec, error) {
+	if scenario != "" {
+		s, ok := sweep.LookupScenario(scenario)
+		if !ok {
+			return sops.Spec{}, fmt.Errorf("unknown scenario %q (use -list)", scenario)
+		}
+		return s.Spec(scale, seed), nil
+	}
+	sp, err := sops.LoadSpec(specFile)
+	if err == nil {
+		return sp, nil // scale/seed defaults merge in MergeCLIOverrides
+	}
+	// Legacy pre-Spec grid files have no "version" key; fall back to the
+	// old parser and convert.
+	g, gerr := sweep.LoadGridSpec(specFile)
+	if gerr != nil {
+		return sops.Spec{}, err // report the Spec-format error, it is canonical
+	}
+	return g.Spec(scale, seed), nil
+}
+
 // saveFigure renders the figure as an ASCII chart on stdout and writes
 // the CSV + SVG files, mirroring sopfigures' output conventions.
-func saveFigure(stdout io.Writer, outDir string, fd *experiment.FigureData) error {
+func saveFigure(stdout io.Writer, outDir string, fd *sops.FigureData) error {
 	names := make([]string, len(fd.Series))
 	xs := make([][]float64, len(fd.Series))
 	ys := make([][]float64, len(fd.Series))

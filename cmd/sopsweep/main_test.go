@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestListScenarios(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig8", "fig9", "fig10", "rings", "cell-adhesion", "long-range"} {
@@ -22,16 +23,16 @@ func TestListScenarios(t *testing.T) {
 }
 
 func TestFlagValidation(t *testing.T) {
-	if err := run(nil, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), nil, io.Discard, io.Discard); err == nil {
 		t.Fatal("no target accepted")
 	}
-	if err := run([]string{"-scenario", "fig8", "-spec", "x.json"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "fig8", "-spec", "x.json"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("both -scenario and -spec accepted")
 	}
-	if err := run([]string{"-scenario", "nope"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "nope"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
-	if err := run([]string{"-scenario", "fig8", "-scale", "huge"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "fig8", "-scale", "huge"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown scale accepted")
 	}
 }
@@ -50,11 +51,11 @@ func TestScenarioEndToEndWithResume(t *testing.T) {
 	out2 := filepath.Join(base, "out2")
 	args := []string{"-scenario", "fig8", "-scale", "test", "-seed", "7",
 		"-checkpoint", ckpt, "-runs", "2"}
-	if err := run(append(args, "-out", out1), io.Discard, io.Discard); err != nil {
+	if err := run(context.Background(), append(args, "-out", out1), io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var progress bytes.Buffer
-	if err := run(append(args, "-out", out2), io.Discard, &progress); err != nil {
+	if err := run(context.Background(), append(args, "-out", out2), io.Discard, &progress); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(progress.String(), "from checkpoint") {
@@ -92,7 +93,7 @@ func TestCustomGridSpecEndToEnd(t *testing.T) {
 	}
 	out := filepath.Join(base, "out")
 	var stdout bytes.Buffer
-	if err := run([]string{"-spec", spec, "-out", out, "-q"}, &stdout, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-spec", spec, "-out", out, "-q"}, &stdout, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "minigrid.csv")); err != nil {
@@ -100,5 +101,59 @@ func TestCustomGridSpecEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "minigrid") {
 		t.Fatalf("chart output missing:\n%s", stdout.String())
+	}
+}
+
+// TestDumpSpecRoundTrip: -dump-spec output fed back through -spec
+// reproduces byte-identical figure output — the CLI-level face of the
+// spec round-trip contract.
+func TestDumpSpecRoundTrip(t *testing.T) {
+	base := t.TempDir()
+	var dumped bytes.Buffer
+	args := []string{"-scenario", "fig8", "-scale", "test", "-seed", "5", "-m", "24", "-repeats", "2"}
+	if err := run(context.Background(), append(args, "-dump-spec"), &dumped, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(base, "fig8.json")
+	if err := os.WriteFile(specPath, dumped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outA := filepath.Join(base, "a")
+	outB := filepath.Join(base, "b")
+	if err := run(context.Background(), append(args, "-out", outA, "-q"), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-spec", specPath, "-out", outB, "-q"}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(outA, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(outB, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("-spec run diverged from the -scenario run it was dumped from")
+	}
+}
+
+// TestLegacyGridSpecStillAccepted: pre-Spec grid JSON (no version key)
+// is auto-detected and converted.
+func TestLegacyGridSpecStillAccepted(t *testing.T) {
+	base := t.TempDir()
+	legacy := `{"name":"lg","n":8,"typeCounts":[2],"cutoffs":[5],"force":{"family":"f1"},"repeats":2}`
+	path := filepath.Join(base, "legacy.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(base, "out")
+	if err := run(context.Background(), []string{"-spec", path, "-scale", "test", "-out", out, "-q"}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "lg.csv")); err != nil {
+		t.Fatal("legacy grid produced no figure:", err)
 	}
 }

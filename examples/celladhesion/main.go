@@ -4,13 +4,17 @@
 // surrounded by a looser shell ("ball enclosed in a circle"), and layered
 // type-sorted bands (Figs. 1, 12).
 //
+// Each tissue is described as a declarative sops.Spec (sim block only —
+// no ensemble needed) and validated through Spec.Validate before
+// anything runs; Session.System materialises the single simulation.
+//
 // Numerical note: strong adhesion (k = 4) with dense neighbourhoods makes
 // the overdamped spring system stiff; the step size follows
 // sim.MaxStableDt (dt < 2/(k·neighbours), here 0.01).
 //
 // Run with:
 //
-//	go run ./examples/celladhesion [-svg]
+//	go run ./examples/celladhesion [-svg] [-scale test]
 package main
 
 import (
@@ -24,7 +28,12 @@ import (
 
 func main() {
 	writeSVG := flag.Bool("svg", false, "also write SVG files next to the binary")
+	scale := flag.String("scale", "", "\"test\" caps the equilibrium search at a CI-sized step budget")
 	flag.Parse()
+	maxSteps := 4000
+	if *scale == "test" {
+		maxSteps = 200
+	}
 
 	type tissue struct {
 		name  string
@@ -73,21 +82,28 @@ func main() {
 		},
 	}
 
+	session := sops.NewSession()
 	for _, ts := range tissues {
 		l := len(ts.r)
-		cfg := sops.SimConfig{
-			N:          ts.n,
-			Types:      ts.types,
-			Force:      sops.MustF1(sops.ConstantMatrix(l, 4), sops.MustMatrix(ts.r)),
-			Cutoff:     ts.rc,
-			Dt:         0.01,
-			InitRadius: 2.5,
-		}
-		sys, err := sops.NewSystem(cfg, sops.NewRNG(7))
+		spec, err := sops.NewSpec(ts.name,
+			sops.WithSeed(7),
+			sops.WithSim(sops.SimConfig{
+				N:          ts.n,
+				Types:      ts.types,
+				Force:      sops.MustF1(sops.ConstantMatrix(l, 4), sops.MustMatrix(ts.r)),
+				Cutoff:     ts.rc,
+				Dt:         0.01,
+				InitRadius: 2.5,
+			}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		steps, eq := sys.RunUntilEquilibrium(4000)
+		sys, err := session.System(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		steps, eq := sys.RunUntilEquilibrium(maxSteps)
 		fmt.Printf("== %s == (%d particles, %d types, rc=%g)\n", ts.name, ts.n, l, ts.rc)
 		if eq {
 			fmt.Printf("equilibrium after %d steps (net force %.2f)\n", steps, sys.NetForce())

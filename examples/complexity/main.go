@@ -9,12 +9,18 @@
 // structured; once frozen, both measures drop — the random initial phase
 // and the frozen end state are both "simple".
 //
+// Both measures consume the same declarative sops.Spec family: the raw
+// ensemble for the symbolic profile comes from Session.Ensemble (the
+// simulation stage alone), the MI curve from Session.Run.
+//
 // Run with:
 //
-//	go run ./examples/complexity
+//	go run ./examples/complexity [-scale quick|paper|test]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -22,6 +28,10 @@ import (
 )
 
 func main() {
+	scale := flag.String("scale", "", "ensemble scale preset (quick|paper|test); empty keeps the example's own sizes")
+	flag.Parse()
+	ctx := context.Background()
+
 	// An organising 2-type collective.
 	r := sops.MustMatrix([][]float64{
 		{1.5, 4.0},
@@ -33,27 +43,41 @@ func main() {
 		Force:  sops.MustF1(sops.ConstantMatrix(2, 1), r),
 		Cutoff: 8,
 	}
-	ens, err := sops.RunEnsemble(sops.EnsembleConfig{
-		Sim: cfg, M: 96, Steps: 240, RecordEvery: 4, Seed: 31,
-	})
+
+	// Fine recording grid for the motion symbols, coarse grid for the MI
+	// curve — two specs over the same collective and seed.
+	fine := sops.WithEnsemble(96, 240, 4)
+	coarse := sops.WithEnsemble(96, 240, 40)
+	if *scale != "" {
+		fine, coarse = sops.WithScale(*scale), sops.WithScale(*scale)
+	}
+	ensSpec, err := sops.NewSpec("complexity-symbols", sops.WithSim(cfg), fine, sops.WithSeed(31))
+	if err != nil {
+		log.Fatal(err)
+	}
+	miSpec, err := sops.NewSpec("complexity-mi", sops.WithSim(cfg), coarse, sops.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Measure 1: the paper's multi-information (on a coarser grid of the
-	// same ensemble via a fresh pipeline — reuse the raw ensemble).
-	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
-		Name: "mi",
-		Ensemble: sops.EnsembleConfig{
-			Sim: cfg, M: 96, Steps: 240, RecordEvery: 40, Seed: 31,
-		},
-	})
+	session := sops.NewSession()
+	ens, err := session.Ensemble(ctx, ensSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Run(ctx, miSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Measure 2: windowed statistical complexity of the motion symbols.
-	profile, err := sops.SymbolicComplexityProfile(ens, 10, 4, 0.08,
+	// The window adapts to the recorded grid so the example runs at any
+	// scale preset.
+	windowFrames := 10
+	if n := len(ens.Times()); windowFrames > n {
+		windowFrames = n
+	}
+	profile, err := sops.SymbolicComplexityProfile(ens, windowFrames, 4, 0.08,
 		sops.StatComplexOptions{MaxHistory: 1, MinCount: 30})
 	if err != nil {
 		log.Fatal(err)

@@ -5,12 +5,18 @@
 // contributions fluctuate early, then settle to stable fractions while the
 // total keeps growing.
 //
+// The experiment is a declarative sops.Spec (note WithDecomposition — the
+// estimator block's decompose switch) run through a sops.Session;
+// `-scale test` shrinks it to CI size.
+//
 // Run with:
 //
-//	go run ./examples/decomposition
+//	go run ./examples/decomposition [-scale quick|paper|test]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,20 +24,26 @@ import (
 )
 
 func main() {
+	scale := flag.String("scale", "", "ensemble scale preset (quick|paper|test); empty keeps the example's own sizes")
+	flag.Parse()
+
 	l := 4
 	draw := sops.SplitRNG(2012, 11)
 	f := sops.MustF1(sops.ConstantMatrix(l, 1), sops.RandomMatrixIn(l, 2, 8, draw))
-	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
-		Name: "decomposition",
-		Ensemble: sops.EnsembleConfig{
-			Sim:         sops.SimConfig{N: 20, Types: sops.TypesRoundRobin(20, l), Force: f, Cutoff: 15},
-			M:           128,
-			Steps:       250,
-			RecordEvery: 25,
-			Seed:        5,
-		},
-		Decompose: true,
-	})
+	ensemble := sops.WithEnsemble(128, 250, 25)
+	if *scale != "" {
+		ensemble = sops.WithScale(*scale)
+	}
+	spec, err := sops.NewSpec("decomposition",
+		sops.WithSim(sops.SimConfig{N: 20, Types: sops.TypesRoundRobin(20, l), Force: f, Cutoff: 15}),
+		ensemble,
+		sops.WithSeed(5),
+		sops.WithDecomposition(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sops.NewSession().Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,12 +12,18 @@
 // It also tracks the paper's Sec. 6 entropy narrative: the joint entropy
 // of the organising collective falls faster than the marginal entropies.
 //
+// Every workload is a declarative sops.Spec: the trajectory ensembles
+// come from Session.Ensemble, the entropy profile from Session.Run with
+// the estimator block's trackEntropies switch.
+//
 // Run with:
 //
-//	go run ./examples/infodynamics
+//	go run ./examples/infodynamics [-scale quick|paper|test]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -25,6 +31,11 @@ import (
 )
 
 func main() {
+	scale := flag.String("scale", "", "ensemble scale preset (quick|paper|test); empty keeps the example's own sizes")
+	flag.Parse()
+	ctx := context.Background()
+	session := sops.NewSession()
+
 	// A 3-type adhesive collective (organising) vs a non-interacting
 	// control (cut-off below any pair distance).
 	r := sops.MustMatrix([][]float64{
@@ -45,9 +56,15 @@ func main() {
 		name string
 		cfg  sops.SimConfig
 	}{{"organising", organising}, {"non-interacting control", control}} {
-		ens, err := sops.RunEnsemble(sops.EnsembleConfig{
-			Sim: tc.cfg, M: 32, Steps: 120, RecordEvery: 4, Seed: 21,
-		})
+		ensemble := sops.WithEnsemble(32, 120, 4)
+		if *scale != "" {
+			ensemble = sops.WithScale(*scale)
+		}
+		spec, err := sops.NewSpec(tc.name, sops.WithSim(tc.cfg), ensemble, sops.WithSeed(21))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ens, err := session.Ensemble(ctx, spec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,13 +112,20 @@ func main() {
 		Types:  sops.TypesRoundRobin(6, 2),
 		Cutoff: 8,
 	}
-	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
-		Name: "entropy-narrative",
-		Ensemble: sops.EnsembleConfig{
-			Sim: small, M: 512, Steps: 150, RecordEvery: 30, Seed: 22,
-		},
-		TrackEntropies: true,
-	})
+	ensemble := sops.WithEnsemble(512, 150, 30)
+	if *scale != "" {
+		ensemble = sops.WithScale(*scale)
+	}
+	entropySpec, err := sops.NewSpec("entropy-narrative",
+		sops.WithSim(small),
+		ensemble,
+		sops.WithSeed(22),
+		sops.WithEntropyTracking(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Run(ctx, entropySpec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,14 +6,19 @@
 //
 // This example runs a reduced version of the paper's sweep: 20 particles
 // with 20 distinct types under F¹ at rc ∈ {2.5, 7.5, ∞} and compares it
-// against a 5-type collective at the same radii.
+// against a 5-type collective at the same radii. The six cells are six
+// declarative sops.Specs executed as ONE Session.Sweep — concurrently
+// under the session's shared worker budget, in spec order, bit-identical
+// to running them one by one.
 //
 // Run with:
 //
-//	go run ./examples/longrange
+//	go run ./examples/longrange [-scale quick|paper|test]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -21,42 +26,54 @@ import (
 	sops "repro"
 )
 
-func run(l int, rc float64, seed uint64) (*sops.Result, error) {
+func cellSpec(l int, rc float64, seed uint64, scale string) (sops.Spec, error) {
 	draw := sops.SplitRNG(seed, uint64(l)*31+uint64(math.Float64bits(rc)%1000))
 	f := sops.MustF1(sops.ConstantMatrix(l, 1), sops.RandomMatrixIn(l, 2, 8, draw))
-	return sops.MeasureSelfOrganization(sops.Pipeline{
-		Name: fmt.Sprintf("l=%d rc=%g", l, rc),
-		Ensemble: sops.EnsembleConfig{
-			Sim:         sops.SimConfig{N: 20, Types: sops.TypesRoundRobin(20, l), Force: f, Cutoff: rc},
-			M:           128,
-			Steps:       250,
-			RecordEvery: 25,
-			Seed:        seed,
-		},
-	})
+	name := fmt.Sprintf("l=%d rc=%g", l, rc)
+	if math.IsInf(rc, 1) {
+		name = fmt.Sprintf("l=%d rc=inf", l)
+	}
+	ensemble := sops.WithEnsemble(128, 250, 25)
+	if scale != "" {
+		ensemble = sops.WithScale(scale)
+	}
+	return sops.NewSpec(name,
+		sops.WithSim(sops.SimConfig{N: 20, Types: sops.TypesRoundRobin(20, l), Force: f, Cutoff: rc}),
+		ensemble,
+		sops.WithSeed(seed),
+	)
 }
 
 func main() {
+	scale := flag.String("scale", "", "ensemble scale preset (quick|paper|test); empty keeps the example's own sizes")
+	flag.Parse()
+
 	radii := []float64{2.5, 7.5, math.Inf(1)}
+	var specs []sops.Spec
+	for _, l := range []int{20, 5} {
+		for _, rc := range radii {
+			spec, err := cellSpec(l, rc, 42, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	fmt.Printf("running %d pipelines (2 type counts x 3 radii) as one budgeted sweep...\n", len(specs))
+	results, err := sops.NewSession().Sweep(context.Background(), specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	chart := &sops.Chart{
 		Title:  "multi-information vs time: cut-off radius and type count (F1, n=20)",
 		XLabel: "t",
 		YLabel: "bits",
 	}
-	fmt.Println("running 6 pipelines (2 type counts x 3 radii)...")
-	for _, l := range []int{20, 5} {
-		for _, rc := range radii {
-			res, err := run(l, rc, 42)
-			if err != nil {
-				log.Fatal(err)
-			}
-			name := fmt.Sprintf("l=%d rc=%g", l, rc)
-			if math.IsInf(rc, 1) {
-				name = fmt.Sprintf("l=%d rc=inf", l)
-			}
-			chart.Add(name, sops.FloatTimes(res.Times), res.MI)
-			fmt.Printf("%-16s ΔI = %6.2f bits\n", name, res.DeltaI())
-		}
+	for i, res := range results {
+		chart.Add(specs[i].Name, sops.FloatTimes(res.Times), res.MI)
+		fmt.Printf("%-16s ΔI = %6.2f bits\n", specs[i].Name, res.DeltaI())
 	}
 	fmt.Print(chart.Render(72, 18))
 	fmt.Println(`

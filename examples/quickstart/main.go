@@ -2,12 +2,20 @@
 // its self-organization as the increase of multi-information between the
 // aligned per-particle observer variables (Harder & Polani 2012, Sec. 3.1).
 //
+// The experiment is described once, declaratively, as a sops.Spec —
+// validated up front, JSON-serializable, fingerprinted — and executed
+// through a sops.Session, the cancellable handle that owns the worker
+// budget. `-scale test` shrinks the ensemble to CI size (this is what the
+// examples CI job runs); the default reproduces the documented curves.
+//
 // Run with:
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-scale quick|paper|test]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +23,9 @@ import (
 )
 
 func main() {
+	scale := flag.String("scale", "", "ensemble scale preset (quick|paper|test); empty keeps the example's own sizes")
+	flag.Parse()
+
 	// Differential adhesion: same-type pairs prefer to sit closer than
 	// cross-type pairs, the classic cell-sorting setup of Sec. 1.
 	r := sops.MustMatrix([][]float64{
@@ -28,19 +39,25 @@ func main() {
 		Cutoff: 6,
 	}
 
-	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
-		Name: "quickstart",
-		Ensemble: sops.EnsembleConfig{
-			Sim:         cfg,
-			M:           128, // independent simulation runs
-			Steps:       200, // t_max
-			RecordEvery: 20,
-			Seed:        1,
-		},
+	// The ensemble grid comes from the explicit numbers, or from the
+	// -scale preset when one is chosen.
+	ensemble := sops.WithEnsemble(128 /* independent runs */, 200 /* t_max */, 20)
+	if *scale != "" {
+		ensemble = sops.WithScale(*scale)
+	}
+	spec, err := sops.NewSpec("quickstart",
+		sops.WithSim(cfg),
+		ensemble,
+		sops.WithSeed(1),
 		// The pipeline streams by default and drops raw trajectories;
 		// keep them here because we print a final configuration below.
-		RetainEnsemble: true,
-	})
+		sops.WithRetainEnsemble(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sops.NewSession().Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,12 +6,17 @@
 // single-type system measurably self-organizing (a relatively high MI for
 // one type, Sec. 6).
 //
+// The experiment is a declarative sops.Spec run through a sops.Session;
+// `-scale test` shrinks it to CI size.
+//
 // Run with:
 //
-//	go run ./examples/rings
+//	go run ./examples/rings [-scale quick|paper|test]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -20,15 +25,27 @@ import (
 )
 
 func main() {
+	scale := flag.String("scale", "", "ensemble scale preset (quick|paper|test); empty keeps the example's own sizes")
+	flag.Parse()
+
 	cfg := sops.SimConfig{
 		N:      20,
 		Force:  sops.MustF1(sops.ConstantMatrix(1, 1), sops.ConstantMatrix(1, 2)),
 		Cutoff: 5, // > 2·r = 4: the two-ring regime
 	}
-	res, err := sops.MeasureSelfOrganization(sops.Pipeline{
-		Name:     "rings",
-		Ensemble: sops.EnsembleConfig{Sim: cfg, M: 160, Steps: 250, RecordEvery: 25, Seed: 3},
-	})
+	ensemble := sops.WithEnsemble(160, 250, 25)
+	if *scale != "" {
+		ensemble = sops.WithScale(*scale)
+	}
+	spec, err := sops.NewSpec("rings",
+		sops.WithSim(cfg),
+		ensemble,
+		sops.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sops.NewSession().Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

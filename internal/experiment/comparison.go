@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -79,7 +80,7 @@ func SampleEquicorrelatedGaussians(m, n int, rho float64, rng rngx.Source) *info
 // kernel estimator is orders of magnitude slower with larger variance in
 // higher dimension; the binned estimator overestimates grossly in high
 // dimension.
-func EstimatorComparison(sw Sweeper, nVars, m, reps int, rho float64, kKSG int, seed uint64) (*ComparisonTable, error) {
+func EstimatorComparison(ctx context.Context, sw Sweeper, nVars, m, reps int, rho float64, kKSG int, seed uint64) (*ComparisonTable, error) {
 	if kKSG <= 0 {
 		kKSG = DefaultKSGK
 	}
@@ -133,7 +134,7 @@ func EstimatorComparison(sw Sweeper, nVars, m, reps int, rho float64, kKSG int, 
 	vals := make([]float64, reps)
 	durs := make([]time.Duration, reps)
 	for _, e := range ests {
-		err := sweeper.Do(reps, func(worker, r int) error {
+		err := sweeper.Do(ctx, reps, func(worker, r int) error {
 			eng := engines[worker]
 			if eng == nil {
 				eng = infotheory.NewEngine(0)

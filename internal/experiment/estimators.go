@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/infotheory"
+)
+
+// ValidEstimators lists every estimator kind the pipeline accepts, in
+// documentation order. The empty kind is not listed: it is shorthand for
+// the default, EstKSG2.
+func ValidEstimators() []EstimatorKind {
+	return []EstimatorKind{EstKSG2, EstKSG1, EstKSGPaper, EstKernel, EstBinned}
+}
+
+// UnknownEstimatorError reports an estimator kind outside ValidEstimators.
+// It replaces the stringly-typed "unknown estimator %q" errors: callers
+// (CLIs, spec validation) can match it with errors.As and present the
+// valid kinds without maintaining their own copy of the list.
+type UnknownEstimatorError struct {
+	// Kind is the rejected estimator name.
+	Kind EstimatorKind
+}
+
+func (e *UnknownEstimatorError) Error() string {
+	valid := ValidEstimators()
+	names := make([]string, len(valid))
+	for i, k := range valid {
+		names[i] = string(k)
+	}
+	return fmt.Sprintf("experiment: unknown estimator %q (valid kinds: %s)",
+		string(e.Kind), strings.Join(names, ", "))
+}
+
+// NewEstimator builds the estimator closure for a kind, bound to one
+// engine: the single constructor behind Pipeline runs, sopinfo and the
+// spec layer, so validation and estimation can never disagree about what a
+// kind means. k is the k-NN parameter of the KSG kinds, bins the
+// per-dimension bin count of the binned kind (0 = its default). With a nil
+// engine it only validates the kind — the returned closure must not be
+// called. An unknown kind returns *UnknownEstimatorError.
+func NewEstimator(kind EstimatorKind, k, bins int, eng *infotheory.Engine) (infotheory.Estimator, error) {
+	switch kind {
+	case "", EstKSG2:
+		return eng.KSGVariantEstimator(k, infotheory.KSG2), nil
+	case EstKSGPaper:
+		return eng.KSGVariantEstimator(k, infotheory.KSGPaper), nil
+	case EstKSG1:
+		return eng.KSGVariantEstimator(k, infotheory.KSG1), nil
+	case EstKernel:
+		return eng.MultiInfoKernel, nil
+	case EstBinned:
+		return func(d *infotheory.Dataset) float64 {
+			return infotheory.MultiInfoBinned(d, infotheory.BinnedOptions{Bins: bins})
+		}, nil
+	default:
+		return nil, &UnknownEstimatorError{Kind: kind}
+	}
+}
+
+// UsesKNN reports whether the kind evaluates a k-NN estimate (and so is
+// subject to the k < M constraint).
+func (k EstimatorKind) UsesKNN() bool {
+	switch k {
+	case "", EstKSG2, EstKSG1, EstKSGPaper:
+		return true
+	}
+	return false
+}

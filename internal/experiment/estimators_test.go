@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/infotheory"
+	"repro/internal/sim"
+)
+
+// TestUnknownEstimatorErrorIsTyped: an invalid kind surfaces as the
+// typed *UnknownEstimatorError — matchable with errors.As — and its
+// message lists every valid kind, from both the constructor and a
+// pipeline run.
+func TestUnknownEstimatorErrorIsTyped(t *testing.T) {
+	_, err := NewEstimator("magic", 4, 0, nil)
+	var ue *UnknownEstimatorError
+	if !errors.As(err, &ue) {
+		t.Fatalf("NewEstimator returned %T, want *UnknownEstimatorError", err)
+	}
+	if ue.Kind != "magic" {
+		t.Fatalf("error carries kind %q", ue.Kind)
+	}
+	for _, kind := range ValidEstimators() {
+		if !strings.Contains(err.Error(), string(kind)) {
+			t.Errorf("message does not list %q: %s", kind, err)
+		}
+	}
+
+	p := Pipeline{Estimator: "magic", Ensemble: fig4TestEnsemble()}
+	if _, err := p.Run(); !errors.As(err, &ue) {
+		t.Fatalf("Pipeline.Run returned %v, want *UnknownEstimatorError", err)
+	}
+}
+
+// TestValidEstimatorsAllConstruct: every listed kind builds an estimator
+// against a real engine, and the empty kind is the KSG-2 default.
+func TestValidEstimatorsAllConstruct(t *testing.T) {
+	eng := infotheory.NewEngine(0)
+	for _, kind := range ValidEstimators() {
+		if _, err := NewEstimator(kind, 2, 4, eng); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := NewEstimator("", 2, 0, eng); err != nil {
+		t.Errorf("default kind: %v", err)
+	}
+}
+
+func fig4TestEnsemble() sim.EnsembleConfig {
+	cfg := Fig4Params()
+	cfg.N = 8
+	return sim.EnsembleConfig{Sim: cfg, M: 8, Steps: 4, RecordEvery: 2, Seed: 1}
+}

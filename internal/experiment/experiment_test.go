@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -289,7 +290,7 @@ func TestSampleEquicorrelatedValidation(t *testing.T) {
 }
 
 func TestEstimatorComparisonRanksKSGAboveBaselines(t *testing.T) {
-	table, err := EstimatorComparison(nil, 5, 150, 3, 0.6, 4, 99)
+	table, err := EstimatorComparison(context.Background(), nil, 5, 150, 3, 0.6, 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}

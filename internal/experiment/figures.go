@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -174,11 +175,11 @@ func Fig4Params() sim.Config {
 	}
 }
 
-// Fig4Pipeline runs the Fig. 4 experiment at the given scale and returns
-// the MI time series. The raw ensemble is not retained; use Fig6Pipeline
-// when the per-sample snapshots are needed too.
-func Fig4Pipeline(sc Scale, seed uint64) (*Result, error) {
-	p := Pipeline{
+// Fig4PipelineOf is the Fig. 4 experiment as a pipeline value — the
+// declarative form behind Fig4Pipeline, exported so the spec layer can
+// capture the exact same run.
+func Fig4PipelineOf(sc Scale, seed uint64) Pipeline {
+	return Pipeline{
 		Name: "fig4",
 		Ensemble: sim.EnsembleConfig{
 			Sim:         Fig4Params(),
@@ -188,7 +189,13 @@ func Fig4Pipeline(sc Scale, seed uint64) (*Result, error) {
 			Seed:        seed,
 		},
 	}
-	return p.Run()
+}
+
+// Fig4Pipeline runs the Fig. 4 experiment at the given scale and returns
+// the MI time series. The raw ensemble is not retained; use Fig6Pipeline
+// when the per-sample snapshots are needed too.
+func Fig4Pipeline(sc Scale, seed uint64) (*Result, error) {
+	return Fig4PipelineOf(sc, seed).Run()
 }
 
 // Fig6Pipeline is the Fig. 4 experiment with the raw ensemble retained, the
@@ -225,9 +232,9 @@ func Fig5Params() sim.Config {
 	}
 }
 
-// Fig5SingleTypeRings runs the Fig. 5 experiment.
-func Fig5SingleTypeRings(sc Scale, seed uint64) (*Result, error) {
-	p := Pipeline{
+// Fig5PipelineOf is the Fig. 5 experiment as a pipeline value.
+func Fig5PipelineOf(sc Scale, seed uint64) Pipeline {
+	return Pipeline{
 		Name: "fig5",
 		Ensemble: sim.EnsembleConfig{
 			Sim:         Fig5Params(),
@@ -237,7 +244,11 @@ func Fig5SingleTypeRings(sc Scale, seed uint64) (*Result, error) {
 			Seed:        seed,
 		},
 	}
-	return p.Run()
+}
+
+// Fig5SingleTypeRings runs the Fig. 5 experiment.
+func Fig5SingleTypeRings(sc Scale, seed uint64) (*Result, error) {
+	return Fig5PipelineOf(sc, seed).Run()
 }
 
 // Fig6Snapshots extracts per-sample snapshots from a Fig. 4 result at the
@@ -383,14 +394,14 @@ func Fig8Specs(sc Scale, maxTypes int, seed uint64) []SweepSpec {
 // τ-family randomised; see DESIGN.md on the r→τ substitution). The runs
 // execute through sw (nil = serial); output is bit-identical for every
 // sweeper and concurrency setting.
-func Fig8TypeCountSweep(sw Sweeper, sc Scale, maxTypes int, seed uint64) (*FigureData, error) {
+func Fig8TypeCountSweep(ctx context.Context, sw Sweeper, sc Scale, maxTypes int, seed uint64) (*FigureData, error) {
 	if err := validateRepeats(sc); err != nil {
 		return nil, err
 	}
 	if maxTypes < 1 {
 		return nil, fmt.Errorf("experiment: Fig8TypeCountSweep needs maxTypes >= 1, got %d", maxTypes)
 	}
-	results, err := sweeperOrSerial(sw).Sweep(Fig8Specs(sc, maxTypes, seed))
+	results, err := sweeperOrSerial(sw).Sweep(ctx, Fig8Specs(sc, maxTypes, seed))
 	if err != nil {
 		return nil, err
 	}
@@ -447,11 +458,11 @@ func repeatSpecs(idPrefix string, sc Scale, seed uint64, build func(rep int) sim
 // returns the pointwise-mean MI curve (all runs share the recorded time
 // grid). It is the one-series form of the Figs. 9/10 sweep machinery,
 // exported for the scenario registry.
-func AverageMI(sw Sweeper, sc Scale, seed uint64, build func(rep int) sim.Config) ([]int, []float64, error) {
+func AverageMI(ctx context.Context, sw Sweeper, sc Scale, seed uint64, build func(rep int) sim.Config) ([]int, []float64, error) {
 	if err := validateRepeats(sc); err != nil {
 		return nil, nil, err
 	}
-	results, err := sweeperOrSerial(sw).Sweep(repeatSpecs("avg", sc, seed, build))
+	results, err := sweeperOrSerial(sw).Sweep(ctx, repeatSpecs("avg", sc, seed, build))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -463,7 +474,7 @@ func AverageMI(sw Sweeper, sc Scale, seed uint64, build func(rep int) sim.Config
 // rc ∈ {2.5, 5, 7.5, 10, 15, ∞}, averaged over random r_αβ draws. The
 // paper's headline: MI increases with rc even though the configurations
 // look unstructured; locality (small rc) limits self-organisation.
-func Fig9CutoffSweep(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
+func Fig9CutoffSweep(ctx context.Context, sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
 	if err := validateRepeats(sc); err != nil {
 		return nil, err
 	}
@@ -484,7 +495,7 @@ func Fig9CutoffSweep(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
 				return RandomTypedF1Config(20, 20, rc, draw)
 			})...)
 	}
-	results, err := sweeperOrSerial(sw).Sweep(specs)
+	results, err := sweeperOrSerial(sw).Sweep(ctx, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -506,7 +517,7 @@ func Fig9CutoffSweep(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
 // rc ∈ {10, 15, ∞} with 20 particles under F¹. The paper's headline: with
 // locally limited interactions, fewer types self-organise MORE than many
 // types — regular same-type clusters restore long-range information flow.
-func Fig10TypesVsCutoff(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
+func Fig10TypesVsCutoff(ctx context.Context, sw Sweeper, sc Scale, seed uint64) (*FigureData, error) {
 	if err := validateRepeats(sc); err != nil {
 		return nil, err
 	}
@@ -530,7 +541,7 @@ func Fig10TypesVsCutoff(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) 
 				return RandomTypedF1Config(20, c.l, c.rc, draw)
 			})...)
 	}
-	results, err := sweeperOrSerial(sw).Sweep(specs)
+	results, err := sweeperOrSerial(sw).Sweep(ctx, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -551,13 +562,13 @@ func Fig10TypesVsCutoff(sw Sweeper, sc Scale, seed uint64) (*FigureData, error) 
 // ---------------------------------------------------------------------------
 // Fig. 11 — normalised decomposition of the multi-information.
 
-// Fig11Decomposition runs one l=5, rc=15 system from the Fig. 10 family
-// with the per-type decomposition enabled and returns the decomposition
-// terms normalised by the total at each time step — the presentation of
-// Fig. 11 (between-type term plus one within-type term per type).
-func Fig11Decomposition(sc Scale, seed uint64) (*FigureData, error) {
+// Fig11PipelineOf is the Fig. 11 experiment as a pipeline value: one
+// l=5, rc=15 system from the Fig. 10 family with the decomposition
+// enabled (the random r_αβ draw is split off the master seed, so the
+// pipeline — and its spec form — pins the exact matrices).
+func Fig11PipelineOf(sc Scale, seed uint64) Pipeline {
 	draw := rngx.Split(seed, 11)
-	p := Pipeline{
+	return Pipeline{
 		Name: "fig11",
 		Ensemble: sim.EnsembleConfig{
 			Sim:         RandomTypedF1Config(20, 5, 15, draw),
@@ -568,15 +579,29 @@ func Fig11Decomposition(sc Scale, seed uint64) (*FigureData, error) {
 		},
 		Decompose: true,
 	}
-	res, err := p.Run()
+}
+
+// Fig11Decomposition runs one l=5, rc=15 system from the Fig. 10 family
+// with the per-type decomposition enabled and returns the decomposition
+// terms normalised by the total at each time step — the presentation of
+// Fig. 11 (between-type term plus one within-type term per type).
+func Fig11Decomposition(sc Scale, seed uint64) (*FigureData, error) {
+	res, err := Fig11PipelineOf(sc, seed).Run()
 	if err != nil {
 		return nil, err
 	}
-	fd := &FigureData{
-		ID:    "fig11",
-		Title: "Normalized decomposition of multi-information (l=5, rc=15, F1)",
-		Notes: "Paper: contributions vary early, then settle to stable fractions while total MI still grows.",
-	}
+	fd := DecompositionFigure(res, "fig11", "Normalized decomposition of multi-information (l=5, rc=15, F1)")
+	fd.Notes = "Paper: contributions vary early, then settle to stable fractions while total MI still grows."
+	return fd, nil
+}
+
+// DecompositionFigure renders a decomposed result in the Fig. 11
+// presentation — the normalised between/within fractions plus the total
+// MI trace scaled to its maximum. It is shared by the fig11 driver and
+// the spec dispatcher, so a Decompose spec replayed from JSON produces
+// the same figure data as the figure command that dumped it.
+func DecompositionFigure(res *Result, id, title string) *FigureData {
+	fd := &FigureData{ID: id, Title: title}
 	xs := intsToFloats(res.Times)
 	between := make([]float64, len(res.Times))
 	within := make([][]float64, len(res.Decomp[0].Within))
@@ -604,7 +629,7 @@ func Fig11Decomposition(sc Scale, seed uint64) (*FigureData, error) {
 	for g := range within {
 		fd.Series = append(fd.Series, Series{Name: fmt.Sprintf("type %d", g), X: xs, Y: within[g]})
 	}
-	return fd, nil
+	return fd
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -121,7 +122,7 @@ func TestFig8SweepAtTestScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fd, err := Fig8TypeCountSweep(nil, TestScale(), 3, 11)
+	fd, err := Fig8TypeCountSweep(context.Background(), nil, TestScale(), 3, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

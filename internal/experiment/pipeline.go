@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -93,6 +94,57 @@ type Pipeline struct {
 	// then share one machine-wide worker pool instead of each assuming
 	// the whole machine. Results never depend on it.
 	Tokens *workpool.Tokens
+	// Engines, when non-nil, recycles estimator engines across pipeline
+	// runs (a Session hands every pipeline its pool). Runtime only;
+	// results never depend on it.
+	Engines *infotheory.EnginePool
+	// OnProgress, when non-nil, receives progress events as the run
+	// advances: one ProgressSampleSimulated per completed sample (on the
+	// streaming path) and one ProgressStepEstimated per estimated step.
+	// It may be invoked concurrently from several workers and must be
+	// cheap and non-blocking. Runtime only; results never depend on it.
+	OnProgress func(ProgressEvent)
+}
+
+// ProgressKind classifies a pipeline or sweep progress event.
+type ProgressKind int
+
+const (
+	// ProgressSampleSimulated: one ensemble sample finished simulating
+	// (streaming path; Index is the sample index).
+	ProgressSampleSimulated ProgressKind = iota
+	// ProgressStepEstimated: one recorded step's multi-information was
+	// estimated (Index is the step's position on the time grid).
+	ProgressStepEstimated
+	// ProgressRunCheckpointed: one sweep run was persisted to its
+	// checkpoint file (Index is the run's position in the sweep).
+	ProgressRunCheckpointed
+	// ProgressRunDone: one sweep run completed — computed or restored
+	// from its checkpoint (Index is the run's position in the sweep).
+	ProgressRunDone
+)
+
+// ProgressEvent is one unit of observable pipeline progress. Events carry
+// identity (which run) and position (which sample/step/run), not payloads:
+// results are returned, never streamed.
+type ProgressEvent struct {
+	Kind ProgressKind
+	// Run labels the emitting run: the Pipeline.Name, or the sweep run
+	// ID for sweep-level events.
+	Run string
+	// Index is the sample, step, or run index, per Kind.
+	Index int
+	// FromCheckpoint marks a ProgressRunDone that was restored from disk
+	// rather than computed.
+	FromCheckpoint bool
+}
+
+// emit dispatches a progress event if a listener is attached.
+func (p Pipeline) emit(ev ProgressEvent) {
+	if p.OnProgress != nil {
+		ev.Run = p.Name
+		p.OnProgress(ev)
+	}
 }
 
 // Result is the outcome of a pipeline run.
@@ -143,22 +195,7 @@ func (r *Result) FinalMI() float64 {
 // value. With a nil engine it only validates the estimator kind (the
 // returned closure must not be called).
 func (p Pipeline) estimatorFor(k int, eng *infotheory.Engine) (infotheory.Estimator, error) {
-	switch p.Estimator {
-	case "", EstKSG2:
-		return eng.KSGVariantEstimator(k, infotheory.KSG2), nil
-	case EstKSGPaper:
-		return eng.KSGVariantEstimator(k, infotheory.KSGPaper), nil
-	case EstKSG1:
-		return eng.KSGVariantEstimator(k, infotheory.KSG1), nil
-	case EstKernel:
-		return eng.MultiInfoKernel, nil
-	case EstBinned:
-		return func(d *infotheory.Dataset) float64 {
-			return infotheory.MultiInfoBinned(d, infotheory.BinnedOptions{Bins: p.Bins})
-		}, nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown estimator %q", p.Estimator)
-	}
+	return NewEstimator(p.Estimator, k, p.Bins, eng)
 }
 
 // effectiveK returns the k actually used by the KSG machinery (the
@@ -169,13 +206,7 @@ func (p Pipeline) effectiveK() (k int, used bool) {
 	if k == 0 {
 		k = DefaultKSGK
 	}
-	switch p.Estimator {
-	case "", EstKSG2, EstKSG1, EstKSGPaper:
-		used = true
-	default:
-		used = p.TrackEntropies
-	}
-	return k, used
+	return k, p.Estimator.UsesKNN() || p.TrackEntropies
 }
 
 // Run executes the full pipeline as a staged stream: ensemble simulation,
@@ -191,7 +222,19 @@ func (p Pipeline) effectiveK() (k int, used bool) {
 //
 // The medoid alignment reference needs all samples of a frame at once and
 // therefore falls back to the batch path transparently.
-func (p Pipeline) Run() (*Result, error) {
+//
+// Run is RunCtx under context.Background(): the uncancellable entry point,
+// kept source-compatible for existing callers and bit-identical to the
+// pre-context pipeline.
+func (p Pipeline) Run() (*Result, error) { return p.RunCtx(context.Background()) }
+
+// RunCtx is Run under a context. Cancellation stops every stage within one
+// token-grant — a simulated sample, an aligned frame or an estimated step
+// in flight completes, nothing further starts — and returns the context's
+// error (match with errors.Is(err, context.Canceled)). A cancelled run
+// returns no partial Result. Results are bit-identical to Run whenever the
+// context is never cancelled.
+func (p Pipeline) RunCtx(ctx context.Context) (*Result, error) {
 	effK, usesK := p.effectiveK()
 	if p.Ensemble.M > 0 {
 		// The guard must apply to the defaulted k too: K=0 means k=4,
@@ -211,13 +254,13 @@ func (p Pipeline) Run() (*Result, error) {
 	// The shared budget (if any) gates the simulation workers too.
 	p.Ensemble.Tokens = p.Tokens
 	if !p.Observer.Streamable() {
-		return p.runBatch(effK)
+		return p.runBatch(ctx, effK)
 	}
-	return p.runStreamed(effK)
+	return p.runStreamed(ctx, effK)
 }
 
 // runStreamed is the streaming pipeline behind Run.
-func (p Pipeline) runStreamed(effK int) (*Result, error) {
+func (p Pipeline) runStreamed(ctx context.Context, effK int) (*Result, error) {
 	ec, err := p.Ensemble.Normalized()
 	if err != nil {
 		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
@@ -245,8 +288,11 @@ func (p Pipeline) runStreamed(effK int) (*Result, error) {
 				return err
 			}
 		}
-		if f.Final && f.Equilibrated {
-			eqCount.Add(1)
+		if f.Final {
+			if f.Equilibrated {
+				eqCount.Add(1)
+			}
+			p.emit(ProgressEvent{Kind: ProgressSampleSimulated, Index: f.Sample})
 		}
 		return nil
 	}
@@ -254,13 +300,16 @@ func (p Pipeline) runStreamed(effK int) (*Result, error) {
 	// Stage 1: the alignment-reference sample (sample 0) runs to
 	// completion, establishing the per-step references and the k-means
 	// anchor. It costs 1/M of the simulation budget.
-	_, err = sim.StreamSamples(ec, 0, 1, func(f sim.Frame) error {
+	_, err = sim.StreamSamplesCtx(ctx, ec, 0, 1, func(f sim.Frame) error {
 		if err := track(f); err != nil {
 			return err
 		}
 		return acc.SeedReference(f.Index, f.Pos)
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
 	}
 	if err := acc.FinishReference(); err != nil {
@@ -281,19 +330,25 @@ func (p Pipeline) runStreamed(effK int) (*Result, error) {
 	}
 
 	// Stage 3 starts before stage 2 so estimation overlaps simulation.
-	estWG := p.startEstimators(res, acc.Datasets(), infotheory.GroupsByLabel(acc.Labels()), effK, ready)
+	estWait := p.startEstimators(ctx, res, acc.Datasets(), infotheory.GroupsByLabel(acc.Labels()), effK, ready)
 
 	// Stage 2: the remaining samples stream through inline alignment.
-	_, simErr := sim.StreamSamples(ec, 1, ec.M, func(f sim.Frame) error {
+	_, simErr := sim.StreamSamplesCtx(ctx, ec, 1, ec.M, func(f sim.Frame) error {
 		if err := track(f); err != nil {
 			return err
 		}
 		return acc.Add(f.Sample, f.Index, f.Pos)
 	})
 	close(ready) // all Add calls have returned: no sends can follow
-	estWG.Wait()
+	estErr := estWait()
 	if simErr != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("experiment %q: %w", p.Name, simErr)
+	}
+	if estErr != nil {
+		return nil, estErr
 	}
 
 	res.Observers = acc.Observers()
@@ -307,13 +362,19 @@ func (p Pipeline) runStreamed(effK int) (*Result, error) {
 // runBatch materialises the full ensemble and an aligned copy before
 // estimating — required by the medoid alignment reference, and kept as the
 // reference implementation the streaming path is tested against.
-func (p Pipeline) runBatch(effK int) (*Result, error) {
-	ens, err := sim.RunEnsemble(p.Ensemble)
+func (p Pipeline) runBatch(ctx context.Context, effK int) (*Result, error) {
+	ens, err := sim.RunEnsembleCtx(ctx, p.Ensemble)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("experiment %q: simulate: %w", p.Name, err)
 	}
-	obs, err := observer.FromEnsemble(ens, p.Observer)
+	obs, err := observer.FromEnsembleCtx(ctx, ens, p.Observer)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("experiment %q: observers: %w", p.Name, err)
 	}
 
@@ -346,7 +407,9 @@ func (p Pipeline) runBatch(effK int) (*Result, error) {
 		ready <- t
 	}
 	close(ready)
-	p.startEstimators(res, obs.Datasets, obs.Groups(), effK, ready).Wait()
+	if err := p.startEstimators(ctx, res, obs.Datasets, obs.Groups(), effK, ready)(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -354,9 +417,12 @@ func (p Pipeline) runBatch(effK int) (*Result, error) {
 // step indices from ready until it closes, writing MI (and optionally the
 // decomposition and entropy profiles) into disjoint slots of res. Each
 // worker owns one tree engine — its k-d trees and scratch stores are
-// recycled across the steps it consumes — and fans one step's samples out
-// across SampleWorkers goroutines.
-func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, groups [][]int, effK int, ready <-chan int) *sync.WaitGroup {
+// recycled across the steps it consumes (and across runs, when a Session
+// engine pool is attached) — and fans one step's samples out across
+// SampleWorkers goroutines. The returned wait function blocks until every
+// worker exits and reports the first error (context cancellation is the
+// only error source; estimation itself cannot fail).
+func (p Pipeline) startEstimators(ctx context.Context, res *Result, datasets []*infotheory.Dataset, groups [][]int, effK int, ready <-chan int) func() error {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -365,17 +431,32 @@ func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, g
 		workers = len(datasets)
 	}
 	wg := &sync.WaitGroup{}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := infotheory.NewEngine(p.SampleWorkers)
+			eng := p.Engines.Get(p.SampleWorkers)
+			defer p.Engines.Put(eng)
 			// The kind was validated in Run; the error is impossible here.
 			est, _ := p.estimatorFor(effK, eng)
 			for t := range ready {
 				// One shared-budget token per estimated step; waiting on
 				// `ready` holds none, so sim workers are never starved.
-				p.Tokens.Acquire()
+				if err := p.Tokens.AcquireCtx(ctx); err != nil {
+					setErr(err)
+					return
+				}
 				res.MI[t] = est(datasets[t])
 				if p.Decompose {
 					res.Decomp[t] = infotheory.Decompose(datasets[t], groups, est)
@@ -384,10 +465,16 @@ func (p Pipeline) startEstimators(res *Result, datasets []*infotheory.Dataset, g
 					res.Entropies[t] = eng.Entropies(datasets[t], effK)
 				}
 				p.Tokens.Release()
+				p.emit(ProgressEvent{Kind: ProgressStepEstimated, Index: t})
 			}
 		}()
 	}
-	return wg
+	return func() error {
+		wg.Wait()
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr
+	}
 }
 
 // Scale bundles the ensemble-size knobs so every figure driver can run at

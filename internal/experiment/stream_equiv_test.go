@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -78,7 +79,7 @@ func TestStreamedPipelineMatchesBatchEverywhere(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			p := mut(equivPipeline())
 			effK, _ := p.effectiveK()
-			batch, err := p.runBatch(effK)
+			batch, err := p.runBatch(context.Background(), effK)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,7 +114,7 @@ func TestStreamedPipelineQuickScaleFig4(t *testing.T) {
 		Ensemble: sim.EnsembleConfig{Sim: Fig4Params(), M: sc.M, Steps: sc.Steps, RecordEvery: sc.RecordEvery, Seed: 2012},
 	}
 	effK, _ := p.effectiveK()
-	batch, err := p.runBatch(effK)
+	batch, err := p.runBatch(context.Background(), effK)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,14 +24,16 @@ type SweepSpec struct {
 // checkpointing (sweep.Runner). Implementations must return results in
 // spec order and must not reorder, drop, or batch-merge runs — the
 // reducers consume results positionally with serial-loop arithmetic.
+// Cancelling the context stops the sweep within one token-grant; a
+// cancelled sweep returns the context's error and no partial result set.
 type Sweeper interface {
 	// Sweep executes every spec and returns the results in spec order.
-	Sweep(specs []SweepSpec) ([]*Result, error)
+	Sweep(ctx context.Context, specs []SweepSpec) ([]*Result, error)
 	// Do executes n indexed jobs (not necessarily pipelines) under the
 	// sweeper's execution policy. fn receives a dense worker slot index
 	// so callers can keep per-worker scratch (estimator engines); jobs
 	// must be independent and safe to run concurrently.
-	Do(n int, fn func(worker, i int) error) error
+	Do(ctx context.Context, n int, fn func(worker, i int) error) error
 }
 
 // SerialSweeper runs every spec in order on the calling goroutine — the
@@ -39,11 +42,14 @@ type Sweeper interface {
 type SerialSweeper struct{}
 
 // Sweep runs the specs one after another.
-func (SerialSweeper) Sweep(specs []SweepSpec) ([]*Result, error) {
+func (SerialSweeper) Sweep(ctx context.Context, specs []SweepSpec) ([]*Result, error) {
 	results := make([]*Result, len(specs))
 	for i, spec := range specs {
-		res, err := spec.Pipeline.Run()
+		res, err := spec.Pipeline.RunCtx(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("sweep run %q: %w", spec.ID, err)
 		}
 		results[i] = res
@@ -52,8 +58,11 @@ func (SerialSweeper) Sweep(specs []SweepSpec) ([]*Result, error) {
 }
 
 // Do runs the jobs in order on the calling goroutine (worker slot 0).
-func (SerialSweeper) Do(n int, fn func(worker, i int) error) error {
+func (SerialSweeper) Do(ctx context.Context, n int, fn func(worker, i int) error) error {
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := fn(0, i); err != nil {
 			return err
 		}

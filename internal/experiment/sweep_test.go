@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -12,23 +13,23 @@ func TestSweepDriversRejectDegenerateRepeats(t *testing.T) {
 	for _, repeats := range []int{0, -3} {
 		sc := TestScale()
 		sc.Repeats = repeats
-		if _, err := Fig8TypeCountSweep(nil, sc, 3, 1); err == nil {
+		if _, err := Fig8TypeCountSweep(context.Background(), nil, sc, 3, 1); err == nil {
 			t.Fatalf("Fig8TypeCountSweep accepted Repeats=%d", repeats)
 		}
-		if _, err := Fig9CutoffSweep(nil, sc, 1); err == nil {
+		if _, err := Fig9CutoffSweep(context.Background(), nil, sc, 1); err == nil {
 			t.Fatalf("Fig9CutoffSweep accepted Repeats=%d", repeats)
 		}
-		if _, err := Fig10TypesVsCutoff(nil, sc, 1); err == nil {
+		if _, err := Fig10TypesVsCutoff(context.Background(), nil, sc, 1); err == nil {
 			t.Fatalf("Fig10TypesVsCutoff accepted Repeats=%d", repeats)
 		}
-		if _, _, err := AverageMI(nil, sc, 1, nil); err == nil {
+		if _, _, err := AverageMI(context.Background(), nil, sc, 1, nil); err == nil {
 			t.Fatalf("AverageMI accepted Repeats=%d", repeats)
 		}
 	}
-	if _, err := EstimatorComparison(nil, 3, 50, 0, 0.5, 4, 1); err == nil {
+	if _, err := EstimatorComparison(context.Background(), nil, 3, 50, 0, 0.5, 4, 1); err == nil {
 		t.Fatal("EstimatorComparison accepted reps=0")
 	}
-	if _, err := Fig8TypeCountSweep(nil, TestScale(), 0, 1); err == nil {
+	if _, err := Fig8TypeCountSweep(context.Background(), nil, TestScale(), 0, 1); err == nil {
 		t.Fatal("Fig8TypeCountSweep accepted maxTypes=0")
 	}
 }
@@ -72,7 +73,7 @@ func TestMeanDeltaI(t *testing.T) {
 // engine reuse relies on.
 func TestSerialSweeperDoOrderAndWorkerZero(t *testing.T) {
 	var order []int
-	err := SerialSweeper{}.Do(4, func(worker, i int) error {
+	err := SerialSweeper{}.Do(context.Background(), 4, func(worker, i int) error {
 		if worker != 0 {
 			t.Fatalf("worker = %d", worker)
 		}

@@ -9,14 +9,14 @@ import (
 // identity and must round-trip through disk).
 type Spec struct {
 	// Family is "F1" or "F2".
-	Family string
+	Family string `json:"family"`
 	// K is the strength matrix (all families).
-	K [][]float64
+	K [][]float64 `json:"k"`
 	// R is the preferred-distance matrix (F1 only).
-	R [][]float64 `json:",omitempty"`
+	R [][]float64 `json:"r,omitempty"`
 	// Sigma and Tau are the Gaussian width matrices (F2 only).
-	Sigma [][]float64 `json:",omitempty"`
-	Tau   [][]float64 `json:",omitempty"`
+	Sigma [][]float64 `json:"sigma,omitempty"`
+	Tau   [][]float64 `json:"tau,omitempty"`
 }
 
 // ToSpec captures a Scaling into its serialisable form. Only the two

@@ -1,0 +1,42 @@
+package infotheory
+
+import "sync"
+
+// EnginePool recycles estimator engines across pipeline runs. An Engine's
+// k-d trees and scratch stores grow to the working-set size of the
+// datasets it estimates and are then reused allocation-free; a session
+// that runs many pipelines back to back (a sweep, a long-lived service)
+// re-uses the same engines instead of re-growing fresh ones per run.
+//
+// A nil *EnginePool is valid and simply allocates: Get returns a fresh
+// engine, Put drops it — so pool support can be threaded through APIs
+// without burdening callers that do not hold a session. Engines carry no
+// result state, only scratch, so pooling never changes any estimate.
+type EnginePool struct {
+	p sync.Pool
+}
+
+// NewEnginePool returns an empty pool.
+func NewEnginePool() *EnginePool {
+	ep := &EnginePool{}
+	ep.p.New = func() any { return new(Engine) }
+	return ep
+}
+
+// Get returns an engine configured for the given within-dataset sample
+// parallelism — recycled if one is pooled, fresh otherwise.
+func (ep *EnginePool) Get(sampleWorkers int) *Engine {
+	if ep == nil {
+		return NewEngine(sampleWorkers)
+	}
+	e := ep.p.Get().(*Engine)
+	e.Workers = sampleWorkers
+	return e
+}
+
+// Put returns an engine to the pool for a later Get. No-op on a nil pool.
+func (ep *EnginePool) Put(e *Engine) {
+	if ep != nil && e != nil {
+		ep.p.Put(e)
+	}
+}

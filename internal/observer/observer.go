@@ -7,6 +7,7 @@
 package observer
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -76,12 +77,20 @@ func (c Config) Streamable() bool {
 // datasets, with no aligned intermediate copy of the ensemble. The medoid
 // reference needs all samples of a frame at once and takes the batch path.
 func FromEnsemble(ens *sim.Ensemble, cfg Config) (*Observers, error) {
+	return FromEnsembleCtx(context.Background(), ens, cfg)
+}
+
+// FromEnsembleCtx is FromEnsemble under a context: cancellation stops the
+// per-(sample, step) alignment pool within one work item and returns the
+// context's error. Results are bit-identical to FromEnsemble whenever the
+// context is never cancelled.
+func FromEnsembleCtx(ctx context.Context, ens *sim.Ensemble, cfg Config) (*Observers, error) {
 	times := ens.Times()
 	if len(times) == 0 {
 		return nil, fmt.Errorf("observer: ensemble has no recorded frames")
 	}
 	if !cfg.Streamable() {
-		return fromEnsembleBatch(ens, cfg)
+		return fromEnsembleBatch(ctx, ens, cfg)
 	}
 	m := len(ens.Trajs)
 	acc, err := NewAccumulator(m, times, ens.Types, cfg)
@@ -102,7 +111,7 @@ func FromEnsemble(ens *sim.Ensemble, cfg Config) (*Observers, error) {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		err := workpool.Run((m-1)*nT, workers, func(i int) error {
+		err := workpool.RunSharedCtx(ctx, (m-1)*nT, workers, nil, func(_, i int) error {
 			s, t := 1+i/nT, i%nT
 			return acc.Add(s, t, ens.Trajs[s].Frames[t])
 		})
@@ -116,11 +125,14 @@ func FromEnsemble(ens *sim.Ensemble, cfg Config) (*Observers, error) {
 // fromEnsembleBatch is the fully-materialised path: align every frame over
 // all samples first (required by the medoid reference), then package the
 // aligned copies into datasets.
-func fromEnsembleBatch(ens *sim.Ensemble, cfg Config) (*Observers, error) {
+func fromEnsembleBatch(ctx context.Context, ens *sim.Ensemble, cfg Config) (*Observers, error) {
 	times := ens.Times()
 	// Align all recorded frames.
 	aligned := make([][][]vec.Vec2, len(times))
 	for t := range times {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		frames := ens.FramesAt(t)
 		if cfg.SkipAlign {
 			aligned[t] = centerOnly(frames)

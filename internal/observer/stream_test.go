@@ -1,6 +1,7 @@
 package observer
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -58,7 +59,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			batch, err := fromEnsembleBatch(ens, cfg)
+			batch, err := fromEnsembleBatch(context.Background(), ens, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,7 +73,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 // on scheduling.
 func TestStreamingMatchesBatchAcrossWorkers(t *testing.T) {
 	ens := smallEnsemble(t, 10, 2, 8, 15, 5)
-	ref, err := fromEnsembleBatch(ens, Config{})
+	ref, err := fromEnsembleBatch(context.Background(), ens, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

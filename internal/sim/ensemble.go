@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/vec"
 	"repro/internal/workpool"
 )
@@ -88,11 +90,18 @@ func (e *Ensemble) FramesAt(t int) [][]vec.Vec2 {
 // Collector; pipelines that only need each frame once should stream
 // instead and keep peak memory independent of M×Steps.
 func RunEnsemble(ec EnsembleConfig) (*Ensemble, error) {
+	return RunEnsembleCtx(context.Background(), ec)
+}
+
+// RunEnsembleCtx is RunEnsemble under a context: cancellation stops the
+// sample pool within one token-grant and returns the context's error; no
+// partial ensemble is returned.
+func RunEnsembleCtx(ctx context.Context, ec EnsembleConfig) (*Ensemble, error) {
 	col, err := NewCollector(ec)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := StreamEnsemble(ec, col.Visit); err != nil {
+	if _, err := StreamEnsembleCtx(ctx, ec, col.Visit); err != nil {
 		return nil, err
 	}
 	return col.Ensemble(), nil

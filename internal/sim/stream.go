@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -97,11 +98,19 @@ func (ec EnsembleConfig) Normalized() (EnsembleConfig, error) {
 // across samples depends on scheduling. Full-trajectory retention is an
 // opt-in consumer: see Collector.
 func StreamEnsemble(ec EnsembleConfig, visit FrameVisitor) (*StreamResult, error) {
+	return StreamEnsembleCtx(context.Background(), ec, visit)
+}
+
+// StreamEnsembleCtx is StreamEnsemble under a context: cancellation stops
+// the sample pool within one token-grant (samples already running finish
+// and their frames are delivered; no further sample starts) and the
+// context's error is returned.
+func StreamEnsembleCtx(ctx context.Context, ec EnsembleConfig, visit FrameVisitor) (*StreamResult, error) {
 	ec, err := ec.Normalized()
 	if err != nil {
 		return nil, err
 	}
-	return streamRange(ec, 0, ec.M, visit)
+	return streamRange(ctx, ec, 0, ec.M, visit)
 }
 
 // StreamSamples is StreamEnsemble restricted to samples lo ≤ s < hi of the
@@ -110,6 +119,12 @@ func StreamEnsemble(ec EnsembleConfig, visit FrameVisitor) (*StreamResult, error
 // empty range is a no-op. The staged measurement pipeline uses this to run
 // the alignment-reference sample to completion before fanning out the rest.
 func StreamSamples(ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResult, error) {
+	return StreamSamplesCtx(context.Background(), ec, lo, hi, visit)
+}
+
+// StreamSamplesCtx is StreamSamples under a context; see StreamEnsembleCtx
+// for the cancellation contract.
+func StreamSamplesCtx(ctx context.Context, ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResult, error) {
 	ec, err := ec.Normalized()
 	if err != nil {
 		return nil, err
@@ -117,15 +132,15 @@ func StreamSamples(ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamRe
 	if lo < 0 || hi > ec.M || lo > hi {
 		return nil, fmt.Errorf("sim: sample range [%d, %d) outside ensemble of %d", lo, hi, ec.M)
 	}
-	return streamRange(ec, lo, hi, visit)
+	return streamRange(ctx, ec, lo, hi, visit)
 }
 
 // streamRange distributes samples [lo, hi) over a worker pool. ec must be
-// normalized. On any error — from a sample or from the visitor — the pool
-// stops handing out work and the first error is returned (workpool.Run's
-// drain contract: workers that exit early cannot strand the producer, the
-// deadlock the pre-streaming RunEnsemble shipped).
-func streamRange(ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResult, error) {
+// normalized. On any error — from a sample, from the visitor, or from the
+// context — the pool stops handing out work and the first error is
+// returned (workpool.Run's drain contract: workers that exit early cannot
+// strand the producer, the deadlock the pre-streaming RunEnsemble shipped).
+func streamRange(ctx context.Context, ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResult, error) {
 	res := &StreamResult{
 		Times: RecordedSteps(ec.Steps, ec.RecordEvery),
 		Types: append([]int(nil), ec.Sim.Types...),
@@ -134,7 +149,7 @@ func streamRange(ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResu
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	err := workpool.RunShared(hi-lo, workers, ec.Tokens, func(_, i int) error {
+	err := workpool.RunSharedCtx(ctx, hi-lo, workers, ec.Tokens, func(_, i int) error {
 		s := lo + i
 		if err := streamSample(ec, s, visit); err != nil {
 			return fmt.Errorf("sample %d: %w", s, err)

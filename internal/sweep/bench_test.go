@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,7 +22,7 @@ func BenchmarkSweepRunner(b *testing.B) {
 
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (experiment.SerialSweeper{}).Sweep(specs); err != nil {
+			if _, err := (experiment.SerialSweeper{}).Sweep(context.Background(), specs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -30,7 +31,7 @@ func BenchmarkSweepRunner(b *testing.B) {
 		b.Run(fmt.Sprintf("runner-conc%d", conc), func(b *testing.B) {
 			r := &Runner{Concurrency: conc, Tokens: workpool.NewTokens(0)}
 			for i := 0; i < b.N; i++ {
-				if _, err := r.Sweep(specs); err != nil {
+				if _, err := r.Sweep(context.Background(), specs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -44,12 +45,12 @@ func BenchmarkSweepCheckpointResume(b *testing.B) {
 	sc := experiment.TestScale()
 	specs := experiment.Fig8Specs(sc, 4, 2012)
 	r := &Runner{Dir: b.TempDir()}
-	if _, err := r.Sweep(specs); err != nil {
+	if _, err := r.Sweep(context.Background(), specs); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Sweep(specs); err != nil {
+		if _, err := r.Sweep(context.Background(), specs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,14 +3,13 @@ package sweep
 import (
 	"encoding/gob"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/experiment"
-	"repro/internal/forces"
 	"repro/internal/infotheory"
+	"repro/internal/spec"
 )
 
 // runFile is the on-disk representation of one completed sweep run,
@@ -35,28 +34,15 @@ type runFile struct {
 
 const runFileVersion = 1
 
-// fingerprint derives a stable identity for everything that affects a
-// run's numbers: the pipeline knobs, the ensemble grid and seed, the
-// simulation parameters, and the serialised force spec. ok is false when
-// the force is a custom Scaling with no serialisable spec — such runs are
-// recomputed rather than resumed, since their identity cannot be pinned.
-// Worker counts and budgets are deliberately excluded: results are
-// bit-identical across all of them.
-func fingerprint(spec experiment.SweepSpec) (fp uint64, ok bool) {
-	p := spec.Pipeline
-	fspec, err := forces.ToSpec(p.Ensemble.Sim.Force)
-	if err != nil {
-		return 0, false
-	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "run|%s|%s|%d|%d|%t|%t|", spec.ID, p.Estimator, p.K, p.Bins, p.Decompose, p.TrackEntropies)
-	ec := p.Ensemble
-	fmt.Fprintf(h, "ens|%d|%d|%d|%d|", ec.M, ec.Steps, ec.RecordEvery, ec.Seed)
-	s := ec.Sim
-	fmt.Fprintf(h, "sim|%d|%v|%g|%g|%g|%g|%g|%d|", s.N, s.Types, s.Cutoff, s.Dt, s.NoiseVariance, s.InitRadius, s.EquilibriumThreshold, s.EquilibriumWindow)
-	fmt.Fprintf(h, "obs|%+v|", p.Observer)
-	fmt.Fprintf(h, "force|%+v", fspec)
-	return h.Sum64(), true
+// fingerprint derives the run's checkpoint identity. It is
+// spec.PipelineFingerprint — the declarative spec layer owns the one
+// stable fingerprint recipe, and the checkpoint key is its single-run
+// case, so checkpoints written before the spec layer existed keep
+// verifying. ok is false when the force is a custom Scaling with no
+// serialisable spec — such runs are recomputed rather than resumed, since
+// their identity cannot be pinned.
+func fingerprint(ss experiment.SweepSpec) (fp uint64, ok bool) {
+	return spec.PipelineFingerprint(ss.ID, ss.Pipeline)
 }
 
 // checkpointPath names the run's file: the sanitised ID plus the

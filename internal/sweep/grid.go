@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -10,26 +11,24 @@ import (
 	"repro/internal/forces"
 	"repro/internal/rngx"
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
-// GridSpec is the JSON description of a custom sweep: a grid over type
-// counts × cut-off radii of random-matrix systems, every cell averaged
-// over repeated draws. It is the `sopsweep -spec file.json` input for
-// experiments outside the named scenario registry.
-//
-// Example:
-//
-//	{
-//	  "name": "my-grid",
-//	  "n": 20,
-//	  "typeCounts": [2, 5],
-//	  "cutoffs": [5, -1],
-//	  "force": {"family": "f1"},
-//	  "repeats": 4
-//	}
+// GridForce selects the random interaction family of a grid cell; it is
+// the spec layer's type — the sweep grid is one face of the declarative
+// Spec.
+type GridForce = spec.GridForce
+
+// GridSpec is the executable form of a custom sweep grid: a grid over
+// type counts × cut-off radii of random-matrix systems, every cell
+// averaged over repeated draws. It is built from (and converts back to)
+// the declarative spec.Spec — `sopsweep -spec file.json` parses the
+// versioned Spec format and runs through GridFromSpec; this struct's own
+// JSON tags remain only for the legacy pre-Spec grid files.
 //
 // A cutoff ≤ 0 means rc = ∞ (JSON has no infinity literal). Zero-valued
-// scale fields (m, steps, recordEvery, repeats) inherit the CLI scale.
+// scale fields (m, steps, recordEvery, repeats) inherit the surrounding
+// Scale.
 type GridSpec struct {
 	Name       string    `json:"name"`
 	N          int       `json:"n"`
@@ -44,29 +43,19 @@ type GridSpec struct {
 	Repeats     int `json:"repeats"`
 
 	// Estimator selects the MI estimator ("" = pipeline default, the
-	// corrected KSG-2); K is its k-NN parameter (0 = default 4).
+	// corrected KSG-2); K is its k-NN parameter (0 = default 4); Bins
+	// the per-dimension bin count of the binned kind.
 	Estimator string `json:"estimator"`
 	K         int    `json:"k"`
-	// Decompose additionally records the per-type decomposition.
-	Decompose bool `json:"decompose"`
+	Bins      int    `json:"bins,omitempty"`
+	// Decompose additionally records the per-type decomposition;
+	// TrackEntropies the per-step entropy profile.
+	Decompose      bool `json:"decompose"`
+	TrackEntropies bool `json:"trackEntropies,omitempty"`
 }
 
-// GridForce selects the random interaction family of a grid cell. All
-// bounds are optional; zero values take the paper's sweep defaults.
-type GridForce struct {
-	// Family is "f1" (random preferred distances, the Figs. 9/10 family)
-	// or "f2" (random strength/τ Gaussians, the Fig. 8 family).
-	Family string  `json:"family"`
-	K      float64 `json:"k"`   // f1 constant strength (default 1)
-	RLo    float64 `json:"rLo"` // f1 r_αβ range (default [2, 8])
-	RHi    float64 `json:"rHi"`
-	KLo    float64 `json:"kLo"` // f2 k_αβ range (default [1, 10])
-	KHi    float64 `json:"kHi"`
-	TauLo  float64 `json:"tauLo"` // f2 τ_αβ range (default [1, 10])
-	TauHi  float64 `json:"tauHi"`
-}
-
-// LoadGridSpec reads and validates a JSON grid file.
+// LoadGridSpec reads and validates a legacy (pre-Spec) JSON grid file.
+// New files should use the versioned Spec format; sopsweep accepts both.
 func LoadGridSpec(path string) (*GridSpec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -82,41 +71,82 @@ func LoadGridSpec(path string) (*GridSpec, error) {
 	return &g, nil
 }
 
+// validate delegates to the spec layer's grid validation, so legacy grid
+// files and Spec sweeps are held to identical rules.
 func (g *GridSpec) validate() error {
-	switch g.Force.Family {
-	case "f1", "f2":
-	case "":
-		return fmt.Errorf("force.family is required (\"f1\" or \"f2\")")
-	default:
-		return fmt.Errorf("unknown force.family %q (want \"f1\" or \"f2\")", g.Force.Family)
-	}
-	for _, l := range g.TypeCounts {
-		if l < 1 {
-			return fmt.Errorf("typeCounts entries must be >= 1, got %d", l)
-		}
-	}
-	if g.N < 0 || g.M < 0 || g.Steps < 0 || g.RecordEvery < 0 || g.Repeats < 0 || g.K < 0 {
+	if g.N < 0 || g.M < 0 || g.Steps < 0 || g.RecordEvery < 0 || g.K < 0 {
 		return fmt.Errorf("negative counts are invalid")
 	}
-	for _, r := range []struct {
-		name   string
-		lo, hi float64
-	}{
-		{"rLo/rHi", g.Force.RLo, g.Force.RHi},
-		{"kLo/kHi", g.Force.KLo, g.Force.KHi},
-		{"tauLo/tauHi", g.Force.TauLo, g.Force.TauHi},
-	} {
-		// A pair is either fully omitted (both zero → family default) or
-		// a proper positive range; a half-specified pair would silently
-		// invert the draw interval.
-		if r.lo == 0 && r.hi == 0 {
-			continue
-		}
-		if r.lo <= 0 || r.hi <= r.lo {
-			return fmt.Errorf("force.%s must satisfy 0 < lo < hi (or omit both for the default), got [%g, %g)", r.name, r.lo, r.hi)
+	sp := g.Spec("", 0)
+	return sp.Validate()
+}
+
+// Spec converts the grid to its declarative form: the versioned,
+// JSON-round-trippable Spec every entry point consumes. The grid's scale
+// overrides become explicit ensemble fields; scale names the surrounding
+// preset.
+func (g *GridSpec) Spec(scale string, seed uint64) spec.Spec {
+	sp := spec.Spec{
+		Version: spec.Version,
+		Name:    g.Name,
+		Scale:   scale,
+		Seed:    seed,
+		Sweep: &spec.Sweep{
+			TypeCounts: append([]int(nil), g.TypeCounts...),
+			Cutoffs:    append([]float64(nil), g.Cutoffs...),
+			Repeats:    g.Repeats,
+		},
+	}
+	f := g.Force
+	sp.Sweep.Force = &f
+	if g.N > 0 {
+		sp.Sim = &spec.Sim{N: g.N}
+	}
+	if g.M > 0 || g.Steps > 0 || g.RecordEvery > 0 {
+		sp.Ensemble = &spec.Ensemble{M: g.M, Steps: g.Steps, RecordEvery: g.RecordEvery}
+	}
+	if g.Estimator != "" || g.K > 0 || g.Bins > 0 || g.Decompose || g.TrackEntropies {
+		sp.Estimator = &spec.Estimator{
+			Kind:           g.Estimator,
+			K:              g.K,
+			Bins:           g.Bins,
+			Decompose:      g.Decompose,
+			TrackEntropies: g.TrackEntropies,
 		}
 	}
-	return nil
+	return sp
+}
+
+// GridFromSpec materialises a grid-sweep Spec as its executable form.
+// Scale-derived fields (m/steps/recordEvery/repeats) are left zero — the
+// caller resolves them once through sp.EffectiveScale and passes the
+// result to Figure.
+func GridFromSpec(sp spec.Spec) (*GridSpec, error) {
+	if sp.Kind() != spec.KindGrid {
+		return nil, fmt.Errorf("sweep: spec %q is not a grid sweep", sp.Name)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GridSpec{
+		Name:       sp.Name,
+		TypeCounts: append([]int(nil), sp.Sweep.TypeCounts...),
+		Cutoffs:    append([]float64(nil), sp.Sweep.Cutoffs...),
+	}
+	if sp.Sweep.Force != nil {
+		g.Force = *sp.Sweep.Force
+	}
+	if sp.Sim != nil {
+		g.N = sp.Sim.N
+	}
+	if est := sp.Estimator; est != nil {
+		g.Estimator = est.Kind
+		g.K = est.K
+		g.Bins = est.Bins
+		g.Decompose = est.Decompose
+		g.TrackEntropies = est.TrackEntropies
+	}
+	return g, nil
 }
 
 // scale merges the grid's overrides into the surrounding Scale.
@@ -166,8 +196,9 @@ func defRange(lo, hi, dLo, dHi float64) (float64, float64) {
 // each (typeCount, cutoff) cell to its mean MI curve. Every run's random
 // draw and ensemble seed come from rngx.Split sub-streams of the master
 // seed indexed by (cell, repeat), so the grid is reproducible and every
-// spec is independent of execution order.
-func (g *GridSpec) Figure(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+// spec is independent of execution order. Cancelling the context stops
+// the sweep within one token-grant (completed runs keep any checkpoints).
+func (g *GridSpec) Figure(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
 	if sw == nil {
 		sw = experiment.SerialSweeper{}
 	}
@@ -215,10 +246,12 @@ func (g *GridSpec) Figure(sw experiment.Sweeper, sc experiment.Scale, seed uint6
 			specs = append(specs, experiment.SweepSpec{
 				ID: fmt.Sprintf("%s-l%d-rc%g-rep%d", name, c.l, c.rc, rep),
 				Pipeline: experiment.Pipeline{
-					Name:      fmt.Sprintf("%s-l%d-rc%g", name, c.l, c.rc),
-					Estimator: experiment.EstimatorKind(g.Estimator),
-					K:         g.K,
-					Decompose: g.Decompose,
+					Name:           fmt.Sprintf("%s-l%d-rc%g", name, c.l, c.rc),
+					Estimator:      experiment.EstimatorKind(g.Estimator),
+					K:              g.K,
+					Bins:           g.Bins,
+					Decompose:      g.Decompose,
+					TrackEntropies: g.TrackEntropies,
 					Ensemble: sim.EnsembleConfig{
 						Sim: sim.Config{
 							N:      n,
@@ -235,7 +268,7 @@ func (g *GridSpec) Figure(sw experiment.Sweeper, sc experiment.Scale, seed uint6
 			})
 		}
 	}
-	results, err := sw.Sweep(specs)
+	results, err := sw.Sweep(ctx, specs)
 	if err != nil {
 		return nil, err
 	}

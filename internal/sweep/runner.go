@@ -20,11 +20,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/experiment"
+	"repro/internal/infotheory"
 	"repro/internal/workpool"
 )
 
@@ -49,6 +51,15 @@ type Runner struct {
 	// OnRunDone, when non-nil, is invoked after each run completes (or
 	// is restored from its checkpoint), serialised by an internal mutex.
 	OnRunDone func(i int, spec experiment.SweepSpec, res *experiment.Result, fromCheckpoint bool)
+	// OnProgress, when non-nil, receives sweep-level progress events
+	// (ProgressRunCheckpointed, ProgressRunDone), and is installed as the
+	// per-pipeline progress listener of every run that does not carry its
+	// own. May be invoked concurrently; must be cheap and non-blocking.
+	OnProgress func(experiment.ProgressEvent)
+	// Engines, when non-nil, is a shared estimator-engine pool handed to
+	// every run that does not carry its own (a Session does this), so a
+	// long sweep recycles engine scratch across runs. Runtime only.
+	Engines *infotheory.EnginePool
 
 	mu sync.Mutex // serialises OnRunDone
 }
@@ -74,12 +85,18 @@ func (r *Runner) concurrency() int {
 // the runs that did complete, so re-running the same Sweep resumes
 // rather than restarts.
 //
+// Cancelling the context stops the sweep within one token-grant: no new
+// run starts, runs in flight abort at their own next grant (and are not
+// checkpointed), and the context's error is returned verbatim — runs that
+// completed before the cancellation keep their checkpoints, so a
+// re-issued Sweep resumes from exactly what finished.
+//
 // When checkpointing is enabled, results carry only the persisted fields
 // (Times, MI, Decomp, Entropies, Labels, EquilibratedFraction) whether
 // they were computed or restored — Observers and the raw Ensemble are
 // never part of a sweep result in that mode, keeping fresh and resumed
 // sweeps structurally identical.
-func (r *Runner) Sweep(specs []experiment.SweepSpec) ([]*experiment.Result, error) {
+func (r *Runner) Sweep(ctx context.Context, specs []experiment.SweepSpec) ([]*experiment.Result, error) {
 	if r.Dir != "" {
 		if err := r.prepareDir(specs); err != nil {
 			return nil, err
@@ -87,7 +104,7 @@ func (r *Runner) Sweep(specs []experiment.SweepSpec) ([]*experiment.Result, erro
 	}
 	tok := r.budget()
 	results := make([]*experiment.Result, len(specs))
-	err := workpool.Run(len(specs), r.concurrency(), func(i int) error {
+	err := workpool.RunSharedCtx(ctx, len(specs), r.concurrency(), nil, func(_, i int) error {
 		spec := specs[i]
 		if r.Dir != "" {
 			if res, ok := r.loadCheckpoint(spec); ok {
@@ -98,8 +115,17 @@ func (r *Runner) Sweep(specs []experiment.SweepSpec) ([]*experiment.Result, erro
 		}
 		p := spec.Pipeline
 		p.Tokens = tok
-		res, err := p.Run()
+		if p.Engines == nil {
+			p.Engines = r.Engines
+		}
+		if p.OnProgress == nil {
+			p.OnProgress = r.OnProgress
+		}
+		res, err := p.RunCtx(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return fmt.Errorf("sweep run %q: %w", spec.ID, err)
 		}
 		if r.Dir != "" {
@@ -107,12 +133,16 @@ func (r *Runner) Sweep(specs []experiment.SweepSpec) ([]*experiment.Result, erro
 			if err := r.saveCheckpoint(spec, res); err != nil {
 				return fmt.Errorf("sweep run %q: %w", spec.ID, err)
 			}
+			r.emit(experiment.ProgressEvent{Kind: experiment.ProgressRunCheckpointed, Run: spec.ID, Index: i})
 		}
 		results[i] = res
 		r.notify(i, spec, res, false)
 		return nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	return results, nil
@@ -122,11 +152,19 @@ func (r *Runner) Sweep(specs []experiment.SweepSpec) ([]*experiment.Result, erro
 // held per job) with at most Concurrency worker goroutines, implementing
 // the job half of experiment.Sweeper. fn receives a dense worker slot
 // index for per-worker scratch state.
-func (r *Runner) Do(n int, fn func(worker, i int) error) error {
-	return workpool.RunShared(n, r.concurrency(), r.budget(), fn)
+func (r *Runner) Do(ctx context.Context, n int, fn func(worker, i int) error) error {
+	return workpool.RunSharedCtx(ctx, n, r.concurrency(), r.budget(), fn)
+}
+
+// emit dispatches a sweep-level progress event if a listener is attached.
+func (r *Runner) emit(ev experiment.ProgressEvent) {
+	if r.OnProgress != nil {
+		r.OnProgress(ev)
+	}
 }
 
 func (r *Runner) notify(i int, spec experiment.SweepSpec, res *experiment.Result, fromCheckpoint bool) {
+	r.emit(experiment.ProgressEvent{Kind: experiment.ProgressRunDone, Run: spec.ID, Index: i, FromCheckpoint: fromCheckpoint})
 	if r.OnRunDone == nil {
 		return
 	}

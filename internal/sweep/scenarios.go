@@ -1,11 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/experiment"
 	"repro/internal/forces"
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
 // Scenario is a named, ready-to-run sweep family: it builds its run grid
@@ -16,7 +18,15 @@ import (
 type Scenario struct {
 	Name string
 	Desc string
-	Run  func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error)
+	Run  func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error)
+}
+
+// Spec returns the scenario's declarative form: the Spec that `sopsweep
+// -spec` (or a Session) runs to reproduce this scenario at the given
+// scale preset and master seed. Scenario specs round-trip losslessly
+// through JSON.
+func (s Scenario) Spec(scale string, seed uint64) spec.Spec {
+	return spec.Spec{Version: spec.Version, Name: s.Name, Scenario: s.Name, Scale: scale, Seed: seed}
 }
 
 // Scenarios returns the registry sorted by name.
@@ -38,8 +48,8 @@ func LookupScenario(name string) (Scenario, bool) {
 }
 
 // meanCurveFigure reduces one averaged series to a single-curve figure.
-func meanCurveFigure(id, title, notes string, sw experiment.Sweeper, sc experiment.Scale, seed uint64, build func(rep int) sim.Config) (*experiment.FigureData, error) {
-	times, mi, err := experiment.AverageMI(sw, sc, seed, build)
+func meanCurveFigure(ctx context.Context, id, title, notes string, sw experiment.Sweeper, sc experiment.Scale, seed uint64, build func(rep int) sim.Config) (*experiment.FigureData, error) {
+	times, mi, err := experiment.AverageMI(ctx, sw, sc, seed, build)
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +89,8 @@ var registry = []Scenario{
 	{
 		Name: "fig4",
 		Desc: "flagship 3-type F1 system: mean MI(t) over repeated ensemble seeds",
-		Run: func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
-			return meanCurveFigure("fig4", "Multi-information vs time (n=50, l=3, rc=5, F1), seed-averaged",
+		Run: func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+			return meanCurveFigure(ctx, "fig4", "Multi-information vs time (n=50, l=3, rc=5, F1), seed-averaged",
 				"Repeats independent ensembles of the Fig. 4 experiment, mean curve.",
 				sw, sc, seed, func(int) sim.Config { return experiment.Fig4Params() })
 		},
@@ -88,29 +98,29 @@ var registry = []Scenario{
 	{
 		Name: "fig8",
 		Desc: "deltaI vs number of types (F2, random matrices, l = 1..10)",
-		Run: func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
-			return experiment.Fig8TypeCountSweep(sw, sc, 10, seed)
+		Run: func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+			return experiment.Fig8TypeCountSweep(ctx, sw, sc, 10, seed)
 		},
 	},
 	{
 		Name: "fig9",
 		Desc: "MI(t) for cut-off radii rc in {2.5,5,7.5,10,15,inf} (n=l=20, F1)",
-		Run: func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
-			return experiment.Fig9CutoffSweep(sw, sc, seed)
+		Run: func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+			return experiment.Fig9CutoffSweep(ctx, sw, sc, seed)
 		},
 	},
 	{
 		Name: "fig10",
 		Desc: "MI(t) for l in {20,5} x rc in {10,15,inf} (n=20, F1)",
-		Run: func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
-			return experiment.Fig10TypesVsCutoff(sw, sc, seed)
+		Run: func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+			return experiment.Fig10TypesVsCutoff(ctx, sw, sc, seed)
 		},
 	},
 	{
 		Name: "rings",
 		Desc: "single-type two-ring collective (Figs. 5/7): mean MI(t) over ensemble seeds",
-		Run: func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
-			return meanCurveFigure("rings", "Single-type rings: mean multi-information vs time (Fig. 5 family)",
+		Run: func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+			return meanCurveFigure(ctx, "rings", "Single-type rings: mean multi-information vs time (Fig. 5 family)",
 				"rc > 2r: two concentric polygons; the inner ring's free rotation carries the MI.",
 				sw, sc, seed, func(int) sim.Config { return experiment.Fig5Params() })
 		},
@@ -118,8 +128,8 @@ var registry = []Scenario{
 	{
 		Name: "cell-adhesion",
 		Desc: "4-type differential-adhesion tissue (Fig. 1 morphology): mean MI(t)",
-		Run: func(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
-			return meanCurveFigure("cell-adhesion", "Nucleus-and-membranes tissue: mean multi-information vs time",
+		Run: func(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+			return meanCurveFigure(ctx, "cell-adhesion", "Nucleus-and-membranes tissue: mean multi-information vs time",
 				"Differential adhesion sorts the mixed ball into nested layers while MI grows.",
 				sw, sc, seed, func(int) sim.Config { return cellAdhesionConfig() })
 		},
@@ -136,7 +146,7 @@ var registry = []Scenario{
 // {2.5, 7.5, ∞}), expressed as the GridSpec it is — one grid-sweep
 // implementation serves both the JSON path and this registry entry. The
 // grid's f1 family is exactly RandomTypedF1Config (k = 1, r ∈ [2, 8]).
-func longRangeScenario(sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
+func longRangeScenario(ctx context.Context, sw experiment.Sweeper, sc experiment.Scale, seed uint64) (*experiment.FigureData, error) {
 	g := &GridSpec{
 		Name:       "long-range",
 		N:          20,
@@ -144,7 +154,7 @@ func longRangeScenario(sw experiment.Sweeper, sc experiment.Scale, seed uint64) 
 		Cutoffs:    []float64{2.5, 7.5, -1}, // -1 → rc = ∞
 		Force:      GridForce{Family: "f1"},
 	}
-	fd, err := g.Figure(sw, sc, seed)
+	fd, err := g.Figure(ctx, sw, sc, seed)
 	if err != nil {
 		return nil, err
 	}

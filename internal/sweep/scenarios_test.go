@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -49,11 +50,11 @@ func TestScenariosRunAtTinyScale(t *testing.T) {
 		if s.Name == "fig8" || s.Name == "fig9" || s.Name == "fig10" {
 			continue // covered (at full series counts) by the driver equivalence test
 		}
-		want, err := s.Run(experiment.SerialSweeper{}, sc, 3)
+		want, err := s.Run(context.Background(), experiment.SerialSweeper{}, sc, 3)
 		if err != nil {
 			t.Fatalf("%s serial: %v", s.Name, err)
 		}
-		got, err := s.Run(&Runner{Concurrency: 3}, sc, 3)
+		got, err := s.Run(context.Background(), &Runner{Concurrency: 3}, sc, 3)
 		if err != nil {
 			t.Fatalf("%s concurrent: %v", s.Name, err)
 		}
@@ -121,7 +122,7 @@ func TestGridFigureEquivalenceAndShape(t *testing.T) {
 		M:          10, Steps: 8, RecordEvery: 4, Repeats: 2,
 	}
 	sc := experiment.TestScale()
-	want, err := g.Figure(nil, sc, 9)
+	want, err := g.Figure(context.Background(), nil, sc, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestGridFigureEquivalenceAndShape(t *testing.T) {
 	if !foundInf {
 		t.Fatalf("rc=inf cell missing: %+v", want.Series)
 	}
-	got, err := g.Figure(&Runner{Concurrency: 4, Dir: t.TempDir()}, sc, 9)
+	got, err := g.Figure(context.Background(), &Runner{Concurrency: 4, Dir: t.TempDir()}, sc, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestGridFigureEquivalenceAndShape(t *testing.T) {
 
 	bad := &GridSpec{Force: GridForce{Family: "f1"}, Repeats: -1}
 	empty := experiment.Scale{}
-	if _, err := bad.Figure(nil, empty, 1); err == nil {
+	if _, err := bad.Figure(context.Background(), nil, empty, 1); err == nil {
 		t.Fatal("repeats<1 grid accepted")
 	}
 }

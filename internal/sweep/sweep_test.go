@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -68,7 +69,7 @@ func sameFigure(t *testing.T, tag string, want, got *experiment.FigureData) {
 // loop for every concurrency/budget setting.
 func TestRunnerMatchesSerialSweep(t *testing.T) {
 	specs := experiment.Fig8Specs(tinyScale(), 2, 1234)
-	want, err := experiment.SerialSweeper{}.Sweep(specs)
+	want, err := experiment.SerialSweeper{}.Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestRunnerMatchesSerialSweep(t *testing.T) {
 	}
 	for _, conc := range concs {
 		r := &Runner{Concurrency: conc, Tokens: workpool.NewTokens(conc)}
-		got, err := r.Sweep(specs)
+		got, err := r.Sweep(context.Background(), specs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,13 +102,13 @@ func TestSweepDriversBitIdenticalAcrossSweepers(t *testing.T) {
 	}
 	drivers := []driver{
 		{"fig8", func(sw experiment.Sweeper) (*experiment.FigureData, error) {
-			return experiment.Fig8TypeCountSweep(sw, sc, 2, 7)
+			return experiment.Fig8TypeCountSweep(context.Background(), sw, sc, 2, 7)
 		}},
 		{"fig9", func(sw experiment.Sweeper) (*experiment.FigureData, error) {
-			return experiment.Fig9CutoffSweep(sw, sc, 7)
+			return experiment.Fig9CutoffSweep(context.Background(), sw, sc, 7)
 		}},
 		{"fig10", func(sw experiment.Sweeper) (*experiment.FigureData, error) {
-			return experiment.Fig10TypesVsCutoff(sw, sc, 7)
+			return experiment.Fig10TypesVsCutoff(context.Background(), sw, sc, 7)
 		}},
 	}
 	for _, d := range drivers {
@@ -130,12 +131,12 @@ func TestSweepDriversBitIdenticalAcrossSweepers(t *testing.T) {
 // comparison returns the same estimates through the serial job loop and
 // the budgeted concurrent one (timings are wall-clock and excluded).
 func TestEstimatorComparisonBitIdenticalAcrossSweepers(t *testing.T) {
-	want, err := experiment.EstimatorComparison(experiment.SerialSweeper{}, 4, 80, 3, 0.5, 4, 99)
+	want, err := experiment.EstimatorComparison(context.Background(), experiment.SerialSweeper{}, 4, 80, 3, 0.5, 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := &Runner{Concurrency: 3, Tokens: workpool.NewTokens(3)}
-	got, err := experiment.EstimatorComparison(r, 4, 80, 3, 0.5, 4, 99)
+	got, err := experiment.EstimatorComparison(context.Background(), r, 4, 80, 3, 0.5, 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func figureCSV(t *testing.T, fd *experiment.FigureData) []byte {
 func TestCheckpointResumeMidSweep(t *testing.T) {
 	sc := tinyScale()
 	const maxTypes, seed = 2, 41
-	reference, err := experiment.Fig8TypeCountSweep(experiment.SerialSweeper{}, sc, maxTypes, seed)
+	reference, err := experiment.Fig8TypeCountSweep(context.Background(), experiment.SerialSweeper{}, sc, maxTypes, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestCheckpointResumeMidSweep(t *testing.T) {
 	}
 	// "Kill" after the first half: only those checkpoints exist.
 	partial := &Runner{Concurrency: 2, Dir: dir}
-	if _, err := partial.Sweep(specs[:half]); err != nil {
+	if _, err := partial.Sweep(context.Background(), specs[:half]); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.run.gob"))
@@ -207,7 +208,7 @@ func TestCheckpointResumeMidSweep(t *testing.T) {
 			computed++
 		}
 	}}
-	resumed, err := experiment.Fig8TypeCountSweep(resume, sc, maxTypes, seed)
+	resumed, err := experiment.Fig8TypeCountSweep(context.Background(), resume, sc, maxTypes, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestCheckpointResumeMidSweep(t *testing.T) {
 
 	// A third pass over a complete checkpoint set computes nothing.
 	restored, computed = 0, 0
-	again, err := experiment.Fig8TypeCountSweep(resume, sc, maxTypes, seed)
+	again, err := experiment.Fig8TypeCountSweep(context.Background(), resume, sc, maxTypes, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestCheckpointSurvivesFailedSweep(t *testing.T) {
 	broken[len(broken)-1].Pipeline.Ensemble.M = 2
 
 	r := &Runner{Concurrency: 1, Dir: dir}
-	if _, err := r.Sweep(broken); err == nil {
+	if _, err := r.Sweep(context.Background(), broken); err == nil {
 		t.Fatal("broken spec did not fail the sweep")
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "*.run.gob"))
@@ -254,11 +255,11 @@ func TestCheckpointSurvivesFailedSweep(t *testing.T) {
 		t.Fatal("no checkpoints survived the failed sweep")
 	}
 
-	want, err := experiment.SerialSweeper{}.Sweep(specs)
+	want, err := experiment.SerialSweeper{}.Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.Sweep(specs)
+	got, err := r.Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestCheckpointIgnoresStaleSpec(t *testing.T) {
 	specs := experiment.Fig8Specs(sc, 1, 5)
 
 	r := &Runner{Dir: dir}
-	if _, err := r.Sweep(specs); err != nil {
+	if _, err := r.Sweep(context.Background(), specs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -292,14 +293,14 @@ func TestCheckpointIgnoresStaleSpec(t *testing.T) {
 			fromCkpt++
 		}
 	}}
-	got, err := r2.Sweep(modified)
+	got, err := r2.Sweep(context.Background(), modified)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fromCkpt != 0 {
 		t.Fatalf("%d stale checkpoints were trusted", fromCkpt)
 	}
-	want, err := experiment.SerialSweeper{}.Sweep(modified)
+	want, err := experiment.SerialSweeper{}.Sweep(context.Background(), modified)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,11 +316,11 @@ func TestCheckpointIgnoresStaleSpec(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err = (&Runner{Dir: dir}).Sweep(specs)
+	got, err = (&Runner{Dir: dir}).Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantOrig, err := experiment.SerialSweeper{}.Sweep(specs)
+	wantOrig, err := experiment.SerialSweeper{}.Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestCheckpointIgnoresStaleSpec(t *testing.T) {
 func TestSweepRejectsDuplicateIDsWhenCheckpointing(t *testing.T) {
 	specs := experiment.Fig8Specs(tinyScale(), 1, 5)
 	specs = append(specs, specs[0])
-	_, err := (&Runner{Dir: t.TempDir()}).Sweep(specs)
+	_, err := (&Runner{Dir: t.TempDir()}).Sweep(context.Background(), specs)
 	if err == nil || !strings.Contains(err.Error(), "unique") {
 		t.Fatalf("duplicate IDs accepted: %v", err)
 	}
@@ -340,7 +341,7 @@ func TestSweepRejectsDuplicateIDsWhenCheckpointing(t *testing.T) {
 // observers or the raw ensemble.
 func TestCheckpointedResultsAreTrimmed(t *testing.T) {
 	specs := experiment.Fig8Specs(tinyScale(), 1, 6)
-	res, err := (&Runner{Dir: t.TempDir()}).Sweep(specs)
+	res, err := (&Runner{Dir: t.TempDir()}).Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestCheckpointedResultsAreTrimmed(t *testing.T) {
 		}
 	}
 	// Without checkpointing the observers stay available.
-	res, err = (&Runner{}).Sweep(specs[:1])
+	res, err = (&Runner{}).Sweep(context.Background(), specs[:1])
 	if err != nil {
 		t.Fatal(err)
 	}

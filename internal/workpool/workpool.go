@@ -10,6 +10,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -55,6 +56,30 @@ func (t *Tokens) Acquire() {
 	}
 }
 
+// AcquireCtx takes one token, blocking until one is free or the context is
+// cancelled, in which case no token is held and the context's error is
+// returned. This is the cancellation point of every budgeted stage: a
+// cancelled pipeline stops within one token-grant — in-flight work items
+// complete, no new item starts.
+func (t *Tokens) AcquireCtx(ctx context.Context) error {
+	if t == nil {
+		// Honour cancellation even without a budget, so unbudgeted
+		// pools stop handing out work just as promptly.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	select {
+	case t.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Release returns a token taken by Acquire. No-op on nil.
 func (t *Tokens) Release() {
 	if t != nil {
@@ -78,8 +103,18 @@ func Run(n, workers int, fn func(i int) error) error {
 // without locking. Items are handed out in order but complete in any
 // order; the single-worker path runs inline with no goroutines.
 func RunShared(n, workers int, tok *Tokens, fn func(worker, i int) error) error {
+	return RunSharedCtx(context.Background(), n, workers, tok, fn)
+}
+
+// RunSharedCtx is RunShared under a context: cancellation stops the pool
+// within one token-grant. A worker waiting for a token abandons the wait
+// and exits; a worker mid-item finishes that item; the producer hands out
+// no further items. When the context's cancellation is what stopped the
+// pool, the context's error is returned verbatim (so callers can match
+// context.Canceled with errors.Is); an fn error observed first wins.
+func RunSharedCtx(ctx context.Context, n, workers int, tok *Tokens, fn func(worker, i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = 1
@@ -89,7 +124,9 @@ func RunShared(n, workers int, tok *Tokens, fn func(worker, i int) error) error 
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			tok.Acquire()
+			if err := tok.AcquireCtx(ctx); err != nil {
+				return err
+			}
 			err := fn(0, i)
 			tok.Release()
 			if err != nil {
@@ -116,7 +153,10 @@ func RunShared(n, workers int, tok *Tokens, fn func(worker, i int) error) error 
 		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				tok.Acquire()
+				if err := tok.AcquireCtx(ctx); err != nil {
+					fail(err)
+					return
+				}
 				err := fn(w, i)
 				tok.Release()
 				if err != nil {
@@ -131,6 +171,9 @@ produce:
 		select {
 		case next <- i:
 		case <-done: // a worker failed: stop producing
+			break produce
+		case <-ctx.Done():
+			fail(ctx.Err())
 			break produce
 		}
 	}

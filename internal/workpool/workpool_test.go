@@ -1,6 +1,7 @@
 package workpool
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -169,5 +170,51 @@ func TestRunAllWorkersFailNoDeadlock(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("Run deadlocked when all workers failed")
+	}
+}
+
+// TestAcquireCtxCancellation: a budget waiter abandons the wait when the
+// context is cancelled, and a nil budget still honours cancellation —
+// the one-token-grant cancellation contract every stage builds on.
+func TestAcquireCtxCancellation(t *testing.T) {
+	tok := NewTokens(1)
+	tok.Acquire() // exhaust the budget
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- tok.AcquireCtx(ctx) }()
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireCtx returned %v, want context.Canceled", err)
+	}
+	tok.Release()
+
+	var nilTok *Tokens
+	if err := nilTok.AcquireCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("nil AcquireCtx returned %v, want context.Canceled", err)
+	}
+	if err := nilTok.AcquireCtx(context.Background()); err != nil {
+		t.Fatalf("nil AcquireCtx with live context: %v", err)
+	}
+}
+
+// TestRunSharedCtxCancellation: cancelling mid-pool stops further items
+// and returns the context's error verbatim, on both the inline
+// single-worker path and the goroutine pool.
+func TestRunSharedCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		err := RunSharedCtx(ctx, 100, workers, nil, func(_, i int) error {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := started.Load(); n >= 100 {
+			t.Fatalf("workers=%d: all items ran despite cancellation", workers)
+		}
 	}
 }

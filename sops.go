@@ -74,6 +74,8 @@ type (
 	EnsembleConfig = sim.EnsembleConfig
 	// Ensemble is a recorded ensemble.
 	Ensemble = sim.Ensemble
+	// CycleDetector detects limit cycles in a running simulation.
+	CycleDetector = sim.CycleDetector
 )
 
 // Streaming ensemble machinery: the bounded-memory alternative to working
@@ -119,6 +121,10 @@ type (
 	Pipeline = experiment.Pipeline
 	// Result is a pipeline outcome (MI time series etc.).
 	Result = experiment.Result
+	// FigureData is a reduced figure: named curves plus notes; Series is
+	// one of its curves. Session.Figure and the sweep scenarios return it.
+	FigureData = experiment.FigureData
+	Series     = experiment.Series
 	// Scale bundles ensemble-size presets.
 	Scale = experiment.Scale
 	// Dataset holds observer-variable samples.
@@ -321,4 +327,10 @@ var (
 // trajectories are dropped as soon as they are aligned unless
 // Pipeline.RetainEnsemble is set, so ensemble sizes far beyond the paper's
 // fit in memory. Results are bit-identical for every worker count.
+//
+// This is the historical entry point, kept as a thin wrapper over
+// context.Background() (as are Pipeline.Run and RunEnsemble). New code
+// that wants cancellation, a shared worker budget, checkpointing or
+// progress events should describe the experiment as a Spec and run it
+// through a Session — the numbers are bit-identical either way.
 func MeasureSelfOrganization(p Pipeline) (*Result, error) { return p.Run() }
