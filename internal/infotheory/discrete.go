@@ -109,11 +109,11 @@ func (d *DiscreteDataset) JointEntropy(vars []int) float64 {
 	for s := 0; s < d.m; s++ {
 		counts[d.jointKey(s, vars)]++
 	}
-	flat := make([]int, 0, len(counts))
-	for _, c := range counts {
-		flat = append(flat, c)
-	}
-	return EntropyFromCounts(flat)
+	// Flatten in sorted-key order, not map order: the entropy sum is a
+	// float reduction, so its rounding depends on summation order, and
+	// the determinism contract (bit-identical repeat runs, DESIGN.md)
+	// covers the discrete baseline exactly as it covers the binned one.
+	return EntropyFromCounts(sortedCounts(counts))
 }
 
 // Entropy returns the plug-in entropy in bits of variable v.

@@ -1,0 +1,53 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+)
+
+// TestJointEntropyBitIdenticalAcrossCalls pins the determinism contract
+// on the discrete plug-in estimator: JointEntropy must be a pure
+// function of its inputs, bit for bit, no matter how often it is
+// evaluated. The original implementation flattened the joint histogram
+// by ranging over the count map, so the float entropy sum ran in Go's
+// randomized map order and repeat evaluations differed at rounding
+// level — the same bug class the PR-4 sorted-key fix removed from the
+// binned estimator (and what the mapiter analyzer now flags at vet
+// time).
+func TestJointEntropyBitIdenticalAcrossCalls(t *testing.T) {
+	// Many distinct joint cells with uneven counts: enough keys that two
+	// different map iteration orders virtually never produce the same
+	// float summation order, and irregular probabilities so reordered
+	// sums actually differ in the low bits.
+	const m = 400
+	rows := make([][]int, m)
+	for s := 0; s < m; s++ {
+		rows[s] = []int{
+			(s * s) % 37,
+			(s * 7) % 11,
+			s % 3,
+		}
+	}
+	d := NewDiscreteDataset(rows)
+	vars := []int{0, 1, 2}
+
+	want := d.JointEntropy(vars)
+	if math.IsNaN(want) || want <= 0 {
+		t.Fatalf("implausible joint entropy %v", want)
+	}
+	for i := 0; i < 200; i++ {
+		if got := d.JointEntropy(vars); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("call %d: JointEntropy = %x, first call = %x (not bit-identical: map-order-dependent summation)",
+				i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+
+	// The quantities built on JointEntropy inherit the contract.
+	wantMI := d.MultiInfo(vars)
+	for i := 0; i < 50; i++ {
+		if got := d.MultiInfo(vars); math.Float64bits(got) != math.Float64bits(wantMI) {
+			t.Fatalf("call %d: MultiInfo = %x, first call = %x (not bit-identical)",
+				i, math.Float64bits(got), math.Float64bits(wantMI))
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import "testing"
+
+func TestMapiterCorpus(t *testing.T) { runCorpus(t, soloCheck(Mapiter), "mapiter") }
+
+func TestRNGSourceCorpus(t *testing.T) { runCorpus(t, soloCheck(RNGSource), "rngsource") }
+
+func TestWalltimeCorpus(t *testing.T) { runCorpus(t, soloCheck(Walltime), "walltime") }
+
+func TestCtxFlowCorpus(t *testing.T) { runCorpus(t, soloCheck(CtxFlow), "ctxflow", "workpool") }
+
+func TestTokenPairCorpus(t *testing.T) { runCorpus(t, soloCheck(TokenPair), "tokenpair", "workpool") }
+
+// TestSuppressionCorpus exercises the //sopslint:ignore directive: it
+// runs the walltime analyzer over a corpus where every clock read is
+// paired with a directive — valid (suppressing), misnamed (not
+// suppressing), or malformed (a diagnostic in its own right).
+func TestSuppressionCorpus(t *testing.T) { runCorpus(t, soloCheck(Walltime), "suppress") }
+
+// TestDefaultChecksScope pins the package scoping of the suite: which
+// contract binds which import paths.
+func TestDefaultChecksScope(t *testing.T) {
+	byName := map[string]Check{}
+	for _, c := range DefaultChecks() {
+		byName[c.Name] = c
+	}
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		// mapiter binds only the result-producing packages.
+		{"mapiter", "repro/internal/infotheory", true},
+		{"mapiter", "repro/internal/sweep", true},
+		{"mapiter", "repro/internal/vec", false},
+		{"mapiter", "repro/cmd/sops", false},
+		// rngsource binds the whole module except rngx itself.
+		{"rngsource", "repro/internal/rngx", false},
+		{"rngsource", "repro/internal/sim", true},
+		{"rngsource", "repro/cmd/sops", true},
+		{"rngsource", "fmt", false},
+		// walltime and ctxflow bind root + internal/..., not CLIs and
+		// not the lint suite itself.
+		{"walltime", "repro", true},
+		{"walltime", "repro/internal/sweep", true},
+		{"walltime", "repro/cmd/sops", false},
+		{"walltime", "repro/internal/lint/load", false},
+		{"ctxflow", "repro/internal/experiment", true},
+		{"ctxflow", "repro/cmd/sops", false},
+		// tokenpair binds everything in the module.
+		{"tokenpair", "repro/cmd/sops", true},
+		{"tokenpair", "repro/internal/workpool", true},
+		{"tokenpair", "os", false},
+	}
+	for _, c := range cases {
+		chk, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("no default check named %q", c.analyzer)
+		}
+		if got := chk.AppliesTo(c.path); got != c.want {
+			t.Errorf("%s applies to %s = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+	// Test-variant import paths scope like their base package.
+	if got := basePath("repro/internal/sim [repro/internal/sim.test]"); got != "repro/internal/sim" {
+		t.Errorf("basePath stripped to %q", got)
+	}
+}

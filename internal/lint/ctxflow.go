@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces the cancellation contract in library code.
+//
+// Contract (DESIGN.md): cancellation stops any entry point within one
+// token-grant, which requires the caller's context to reach every
+// blocking call. Two failure modes break the chain, and CtxFlow flags
+// both:
+//
+//  1. Minting a fresh root — context.Background() or context.TODO() —
+//     inside internal packages, which silently detaches everything
+//     downstream from the caller's cancellation. The documented legacy
+//     wrappers (Pipeline.Run, RunEnsemble, …) are the sanctioned
+//     exceptions and each carries a //sopslint:ignore ctxflow directive.
+//  2. An exported function that accepts a context but then calls the
+//     context-free variant of an API that has one (Acquire where
+//     AcquireCtx exists), quietly dropping cancellation mid-chain.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background()/TODO() in library code and ctx-accepting functions that call non-ctx API variants",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pass, call); fn != nil && pkgPathIs(fn.Pkg(), "context") {
+					if fn.Name() == "Background" || fn.Name() == "TODO" {
+						pass.Reportf(call.Pos(), "context.%s() in library code detaches callees from the caller's cancellation; accept and pass through a ctx parameter (documented legacy wrappers annotate //sopslint:ignore ctxflow)", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !hasCtxParam(pass, fd) {
+				continue
+			}
+			checkCtxVariants(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter.
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && pkgPathIs(obj.Pkg(), "context")
+}
+
+// checkCtxVariants flags calls to F inside fd where a sibling FCtx
+// exists: the context in hand should have been threaded through.
+func checkCtxVariants(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		name := fn.Name()
+		if len(name) >= 3 && name[len(name)-3:] == "Ctx" {
+			return true
+		}
+		if !hasCtxSibling(fn) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s accepts a context but calls %s, which has a context-aware variant %sCtx; pass the context through so cancellation propagates", fd.Name.Name, name, name)
+		return true
+	})
+}
+
+// hasCtxSibling reports whether fn has a sibling named fn.Name()+"Ctx":
+// a method on the same receiver type, or a function in the same package
+// scope.
+func hasCtxSibling(fn *types.Func) bool {
+	want := fn.Name() + "Ctx"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		_, isFunc := obj.(*types.Func)
+		return isFunc
+	}
+	_, isFunc := fn.Pkg().Scope().Lookup(want).(*types.Func)
+	return isFunc
+}

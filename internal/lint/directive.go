@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+const directivePrefix = "//sopslint:ignore"
+
+// directive is one parsed //sopslint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// fileDirectives extracts every sopslint directive from the package.
+// Directives are ordinary comments as far as gofmt is concerned, but
+// follow the //go: convention of no space after the slashes, so they
+// survive formatting attached to their line.
+func fileDirectives(pkg *analysis.Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				name, reason, _ := strings.Cut(text, " ")
+				out = append(out, directive{
+					pos:      pkg.Fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives filters diagnostics through the package's
+// //sopslint:ignore directives: a directive suppresses the named
+// analyzer's findings on its own line and on the line directly below
+// (the directive-above-the-statement form). Malformed directives —
+// unknown analyzer name, or no reason — surface as diagnostics of the
+// pseudo-analyzer "sopslint", so every suppression stays auditable.
+func applyDirectives(pkg *analysis.Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	suppressed := map[key]bool{}
+	var out []analysis.Diagnostic
+	for _, d := range fileDirectives(pkg) {
+		switch {
+		case d.analyzer == "":
+			out = append(out, analysis.Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "sopslint",
+				Message:  "//sopslint:ignore needs an analyzer name and a reason: //sopslint:ignore <analyzer> <reason>",
+			})
+		case !known[d.analyzer]:
+			out = append(out, analysis.Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "sopslint",
+				Message:  fmt.Sprintf("unknown analyzer %q in //sopslint:ignore directive", d.analyzer),
+			})
+		case d.reason == "":
+			out = append(out, analysis.Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "sopslint",
+				Message:  "//sopslint:ignore " + d.analyzer + " needs a reason",
+			})
+		default:
+			suppressed[key{d.pos.Filename, d.pos.Line, d.analyzer}] = true
+			suppressed[key{d.pos.Filename, d.pos.Line + 1, d.analyzer}] = true
+		}
+	}
+	for _, d := range diags {
+		if suppressed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// unitConfig mirrors the JSON compilation-unit description `go vet`
+// writes for a -vettool (the x/tools unitchecker protocol): absolute
+// source paths plus an export-data file for every dependency.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ErrTypecheckTolerated reports a typecheck failure in a unit whose
+// config asked for silence on typecheck failure (cmd/go sets it when
+// the compiler itself will report the error).
+var ErrTypecheckTolerated = errors.New("typecheck failed (tolerated by config)")
+
+// Unit loads the compilation unit named by a vet.cfg path into an
+// analysis.Package. It always writes the VetxOutput facts file when the
+// config names one — cmd/go caches it as the action's output — and the
+// suite exports no facts, so the file is an empty placeholder. A nil
+// package with nil error means a facts-only (VetxOnly) unit.
+func Unit(cfgPath string) (*analysis.Package, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("sopslint-no-facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, ErrTypecheckTolerated
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	if v := cfg.GoVersion; v != "" && strings.HasPrefix(v, "go") {
+		conf.GoVersion = v
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, ErrTypecheckTolerated
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+	return &analysis.Package{
+		Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Mapiter flags `for range` over a map whose body feeds a returned or
+// accumulated value in result-producing packages.
+//
+// Contract (DESIGN.md): repeat runs are bit-identical. Go randomizes map
+// iteration order per range statement, and floating-point addition is
+// not associative, so any float accumulated — or any slice appended —
+// in map order differs at rounding level between two runs of the same
+// binary (the PR-4 binned-estimator bug). The sanctioned idiom is the
+// one sortedCounts uses: collect the keys, sort them, then iterate the
+// sorted slice.
+//
+// The analyzer allows loop bodies that are order-insensitive:
+// collecting keys into a slice (to be sorted), writing map or slice
+// entries indexed by the key, integer accumulation (exact and
+// commutative), deletes, and anything confined to variables declared
+// inside the loop. Everything else that escapes the iteration —
+// non-key appends, float accumulation, plain assignments to outer
+// variables, returns, sends, calls with outer effects — is flagged.
+var Mapiter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration that feeds results in randomized order; collect and sort keys instead",
+	Run:  runMapiter,
+}
+
+func runMapiter(pass *analysis.Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			m := &mapRange{pass: pass, rs: rs}
+			if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+				m.key = pass.ObjectOf(id)
+			}
+			m.checkStmts(rs.Body.List)
+			return true
+		})
+	}
+	return nil
+}
+
+// mapRange checks one range-over-map statement.
+type mapRange struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+	key  types.Object // the range key variable, nil when blank
+}
+
+func (m *mapRange) report(n ast.Node, why string) {
+	m.pass.Reportf(n.Pos(), "range over map %s is order-sensitive: %s; collect and sort the keys first (the sortedCounts idiom), or annotate //sopslint:ignore mapiter <reason>",
+		types.ExprString(m.rs.X), why)
+}
+
+// declaredInside reports whether obj is declared within the range body,
+// where order-dependent values may live freely — they die with the
+// iteration.
+func (m *mapRange) declaredInside(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= m.rs.Pos() && obj.Pos() <= m.rs.End()
+}
+
+func (m *mapRange) checkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		m.checkStmt(s)
+	}
+}
+
+func (m *mapRange) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		m.checkAssign(s)
+	case *ast.IncDecStmt:
+		if !m.allowedLvalue(s.X, true) {
+			m.report(s, "updates an outer non-integer value in map order")
+		}
+	case *ast.ExprStmt:
+		m.checkExpr(s)
+	case *ast.DeclStmt:
+		// declares loop-local state
+	case *ast.IfStmt:
+		if s.Init != nil {
+			m.checkStmt(s.Init)
+		}
+		m.checkStmts(s.Body.List)
+		if s.Else != nil {
+			m.checkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		m.checkStmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			m.checkStmt(s.Init)
+		}
+		if s.Post != nil {
+			m.checkStmt(s.Post)
+		}
+		m.checkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		// An inner range over a map gets its own check from the file
+		// walk; here only the body's outer effects matter.
+		m.checkStmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			m.checkStmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			m.checkStmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			m.checkStmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.LabeledStmt:
+		m.checkStmt(s.Stmt)
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK {
+			m.report(s, "breaks out after a random subset of entries")
+		} else if s.Tok == token.GOTO {
+			m.report(s, "jumps out of the iteration")
+		}
+		// continue only skips entries — harmless by itself
+	case *ast.ReturnStmt:
+		m.report(s, "returns from inside the iteration, so the result depends on visit order")
+	default:
+		// sends, go, defer, select, …: all escape the iteration with
+		// order-dependent effects
+		m.report(s, "has effects outside the loop whose order is randomized")
+	}
+}
+
+// checkAssign vets one assignment: every left-hand side must be
+// order-insensitive.
+func (m *mapRange) checkAssign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return // new loop-local variables
+	}
+	integerOp := false
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		integerOp = true
+	}
+	for i, lhs := range s.Lhs {
+		if m.allowedLvalue(lhs, integerOp) {
+			continue
+		}
+		// The one extra allowance on plain `=`: the sorted-key idiom's
+		// collection step, keys = append(keys, k).
+		if s.Tok == token.ASSIGN && len(s.Lhs) == len(s.Rhs) && m.isKeyAppend(s.Lhs[i], s.Rhs[i]) {
+			continue
+		}
+		why := "assigns to an outer variable in map order"
+		if integerOp {
+			why = "accumulates a non-integer value (float rounding depends on summation order)"
+		}
+		if call, ok := ast.Unparen(s.Rhs[min(i, len(s.Rhs)-1)]).(*ast.CallExpr); ok && isBuiltin(m.pass, call, "append") {
+			why = "appends non-key values to an outer slice in map order"
+		}
+		m.report(s, why)
+		return
+	}
+}
+
+// allowedLvalue reports whether writing through lhs is order-insensitive:
+// blank, loop-local, key-indexed container entries, and (when the
+// operator is an exact commutative accumulation) outer integers.
+func (m *mapRange) allowedLvalue(lhs ast.Expr, integerOp bool) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		obj := m.pass.ObjectOf(lhs)
+		if m.declaredInside(obj) {
+			return true
+		}
+		if integerOp && obj != nil && isInteger(obj.Type()) {
+			return true
+		}
+	case *ast.IndexExpr:
+		// m2[k] = v or counts[key(k)] += n: each key is visited once, so
+		// writes to distinct entries commute.
+		if mentionsObject(m.pass, lhs.Index, m.key) {
+			return true
+		}
+		// Indexing a loop-local container is fine regardless.
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok && m.declaredInside(m.pass.ObjectOf(base)) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		// field write on a loop-local value
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok && m.declaredInside(m.pass.ObjectOf(base)) {
+			return true
+		}
+		if integerOp {
+			if t := m.pass.TypeOf(lhs); t != nil && isInteger(t) {
+				return true
+			}
+		}
+	case *ast.StarExpr:
+		// *p = v through a loop-local pointer (e.g. the range value)
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok && m.declaredInside(m.pass.ObjectOf(base)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isKeyAppend recognizes `keys = append(keys, k)` where k is exactly the
+// range key: the collection half of the sanctioned collect-then-sort
+// idiom.
+func (m *mapRange) isKeyAppend(lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || !isBuiltin(m.pass, call, "append") || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	lhsID, ok2 := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || !ok2 || m.pass.ObjectOf(dst) != m.pass.ObjectOf(lhsID) {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && m.key != nil && m.pass.ObjectOf(arg) == m.key
+}
+
+// checkExpr vets a bare expression statement in the loop body.
+func (m *mapRange) checkExpr(s *ast.ExprStmt) {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return // bare non-call expressions have no effect
+	}
+	if isBuiltin(m.pass, call, "delete") {
+		return // each key deleted once; deletes commute
+	}
+	if isBuiltin(m.pass, call, "panic") {
+		return // failing fast is failing; determinism of success is intact
+	}
+	// Method call on a loop-local value: effects die with the iteration.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && m.declaredInside(m.pass.ObjectOf(base)) {
+			return
+		}
+	}
+	m.report(s, "calls with effects outside the loop in map order")
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,40 @@
+// Package ctxflow is the corpus for the ctxflow analyzer: minting fresh
+// context roots in library code is flagged, as is accepting a context
+// and then calling the context-free variant of an API that has a Ctx
+// sibling; threading the context through is allowed.
+package ctxflow
+
+import (
+	"context"
+
+	"workpool"
+)
+
+// Mint detaches its callees from the caller's cancellation.
+func Mint(tok *workpool.Tokens) error {
+	return RunCtx(context.Background(), tok) // want "context.Background"
+}
+
+// Todo is the same failure through the other constructor.
+func Todo(tok *workpool.Tokens) error {
+	return RunCtx(context.TODO(), tok) // want "context.TODO"
+}
+
+// RunCtx threads its context into the ctx-aware variant: allowed.
+func RunCtx(ctx context.Context, tok *workpool.Tokens) error {
+	if err := tok.AcquireCtx(ctx); err != nil {
+		return err
+	}
+	defer tok.Release()
+	return nil
+}
+
+// Drop accepts a context but calls the context-free Acquire even though
+// AcquireCtx exists, silently dropping cancellation mid-chain.
+func Drop(ctx context.Context, tok *workpool.Tokens) error {
+	tok.Acquire() // want "Drop accepts a context but calls Acquire"
+	defer tok.Release()
+	return use(ctx)
+}
+
+func use(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,95 @@
+// Package mapiter is the corpus for the mapiter analyzer: map-order
+// float reductions and escapes are flagged; the collect-then-sort idiom,
+// integer accumulation and key-indexed writes are allowed.
+package mapiter
+
+import "sort"
+
+// Sum accumulates a float in map order: the summation order is
+// randomized per range statement, so the rounding differs between runs.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "accumulates a non-integer value"
+	}
+	return s
+}
+
+// Count accumulates an integer: exact and commutative, allowed.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SortedSum is the sanctioned idiom: collect keys, sort, iterate sorted.
+func SortedSum(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// First returns from inside the iteration: which entry is first is
+// randomized.
+func First(m map[string]int) string {
+	for k := range m {
+		return k // want "returns from inside the iteration"
+	}
+	return ""
+}
+
+// Values appends non-key values to an outer slice in map order.
+func Values(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "appends non-key values"
+	}
+	return out
+}
+
+// Double writes entries indexed by the range key: distinct keys, so the
+// writes commute. Allowed.
+func Double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// LoopLocal confines all order-dependent state to the iteration: the
+// scratch dies with each entry. Allowed.
+func LoopLocal(m map[string][]float64) int {
+	total := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		if s > 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// Max assigns an outer non-integer in map order: ties resolve to a
+// randomized winner.
+func Max(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // want "assigns to an outer variable"
+		}
+	}
+	return best
+}

@@ -1,0 +1,23 @@
+// Package rngsource is the corpus for the rngsource analyzer: any
+// import of a randomness source outside internal/rngx is flagged at the
+// import site; deterministic stdlib imports are allowed.
+package rngsource
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand outside internal/rngx"
+	"math/rand"         // want "import of math/rand outside internal/rngx"
+	"sort"
+)
+
+// Roll draws from the flagged global source.
+func Roll() int { return rand.Intn(6) }
+
+// Nonce reads the flagged crypto source.
+func Nonce() []byte {
+	b := make([]byte, 8)
+	crand.Read(b)
+	return b
+}
+
+// Sorted uses an allowed, deterministic import.
+func Sorted(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,54 @@
+// Package suppress is the corpus for the //sopslint:ignore directive:
+// a well-formed directive silences exactly the named analyzer on its
+// own line and the line below, and a malformed directive — missing
+// name, unknown name, or missing reason — is itself a diagnostic and
+// suppresses nothing.
+package suppress
+
+import "time"
+
+// Suppressed: the directive on the line above silences walltime here.
+func Suppressed() int64 {
+	//sopslint:ignore walltime corpus: deliberately suppressed clock read
+	return time.Now().UnixNano()
+}
+
+// SameLine: the trailing-directive form silences its own line.
+func SameLine() int64 {
+	return time.Now().UnixNano() //sopslint:ignore walltime corpus: same-line form
+}
+
+// WrongAnalyzer: a directive naming a different (but known) analyzer
+// leaves walltime findings alone — suppression is per-analyzer.
+func WrongAnalyzer() int64 {
+	//sopslint:ignore mapiter corpus: names a different analyzer
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// OutOfRange: a directive two lines up is out of range; only the
+// directive's own line and the next are covered.
+func OutOfRange() int64 {
+	//sopslint:ignore walltime corpus: too far from the finding
+	_ = 0
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// Unknown: an unknown analyzer name is a diagnostic, and the directive
+// suppresses nothing.
+func Unknown() int64 {
+	/* want "unknown analyzer \"nosuchcheck\"" */ //sopslint:ignore nosuchcheck corpus: bogus name
+	return time.Now().UnixNano()                  // want "wall-clock read time.Now"
+}
+
+// NoReason: a directive without a reason is a diagnostic, and the
+// directive suppresses nothing.
+func NoReason() int64 {
+	/* want "needs a reason" */  //sopslint:ignore walltime
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// Bare: a directive with no analyzer name at all.
+func Bare() int64 {
+	/* want "needs an analyzer name" */ //sopslint:ignore
+	return time.Now().UnixNano()        // want "wall-clock read time.Now"
+}

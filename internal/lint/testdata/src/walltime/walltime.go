@@ -1,0 +1,31 @@
+// Package walltime is the corpus for the walltime analyzer: reading the
+// wall clock is flagged; pure time arithmetic on values passed in is
+// allowed.
+package walltime
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// Elapsed reads the wall clock through Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// Remaining reads the wall clock through Until.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall-clock read time.Until"
+}
+
+// Shift is pure arithmetic on a caller-supplied instant: allowed.
+func Shift(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// Span is duration arithmetic with no clock read: allowed.
+func Span(steps int, per time.Duration) time.Duration {
+	return time.Duration(steps) * per
+}

@@ -1,0 +1,31 @@
+// Package workpool is a corpus stub of the repository's
+// internal/workpool surface: just enough for the tokenpair and ctxflow
+// analyzers to resolve Tokens.Acquire/AcquireCtx/Release by type (the
+// analyzers match the package by leaf name, so this stub stands in for
+// repro/internal/workpool).
+package workpool
+
+import "context"
+
+// Tokens is the stub of the shared concurrency budget.
+type Tokens struct{ ch chan struct{} }
+
+// New returns a budget of n tokens.
+func New(n int) *Tokens { return &Tokens{ch: make(chan struct{}, n)} }
+
+// Acquire takes one token, blocking until one is free.
+func (t *Tokens) Acquire() { t.ch <- struct{}{} }
+
+// AcquireCtx takes one token or returns the context's error, in which
+// case no token is held.
+func (t *Tokens) AcquireCtx(ctx context.Context) error {
+	select {
+	case t.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a token taken by Acquire or AcquireCtx.
+func (t *Tokens) Release() { <-t.ch }

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// pkgPathIs reports whether pkg is the package named by want, where want
+// is either a full import path ("time") or a repo-internal leaf
+// ("workpool"). Corpus packages under testdata use bare leaf paths, so
+// leaf matching keeps the analyzers testable without replicating the
+// module layout.
+func pkgPathIs(pkg *types.Package, want string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == want || strings.HasSuffix(p, "/"+want)
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for builtins, conversions and indirect calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether the call invokes the named package-level
+// function (e.g. pkg "time", name "Now").
+func isPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Name() == name && pkgPathIs(fn.Pkg(), pkg)
+}
+
+// mentionsObject reports whether expr references obj.
+func mentionsObject(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	if obj == nil || expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isInteger reports whether t's underlying type is an integer kind —
+// the types whose addition is exact and order-independent, unlike
+// floats, whose rounding makes sums depend on summation order.
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

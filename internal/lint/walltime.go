@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Walltime forbids reading the wall clock in packages reachable from
+// Spec.Fingerprint() or checkpoint encoding.
+//
+// Contract (DESIGN.md): a run's identity is fully determined by its
+// spec, and a checkpoint restored on any machine at any time is
+// byte-identical to the original computation. A time.Now() anywhere in
+// that closure is a hidden input. The suite scopes this check to the
+// root package and internal/... (the conservative superset of the
+// fingerprint/checkpoint import closure); CLIs, examples and test files
+// are exempt, and sanctioned instrumentation (per-eval timing columns,
+// progress reporting) carries a //sopslint:ignore walltime directive
+// with its justification.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Since/time.Until in fingerprint- and checkpoint-reachable packages",
+	Run:  runWalltime,
+}
+
+var walltimeCalls = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWalltime(pass *analysis.Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !walltimeCalls[fn.Name()] || !pkgPathIs(fn.Pkg(), "time") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "wall-clock read time.%s in fingerprint/checkpoint-reachable code: results must be a pure function of the spec; take times in the CLI layer, or annotate //sopslint:ignore walltime <reason> for reporting-only instrumentation", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -64,6 +64,35 @@ func sanitizeID(id string) string {
 	}, id)
 }
 
+// RemoveStaleTemps deletes leftover .tmp-run-* files from a checkpoint
+// directory and reports how many it removed. These are the remnants of a
+// process killed between CreateTemp and Rename in saveCheckpoint: never
+// a valid checkpoint (a resume ignores them by name), but they
+// accumulate across crashes. Completed checkpoints and anything else in
+// the directory are untouched. A missing directory removes nothing and
+// is not an error, so callers can sweep before the first run ever
+// creates the directory.
+func RemoveStaleTemps(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("sweep: scanning checkpoint dir: %w", err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-run-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("sweep: removing stale temp: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
 // prepareDir creates the checkpoint directory and rejects duplicate spec
 // IDs, which would otherwise silently share checkpoint files.
 func (r *Runner) prepareDir(specs []experiment.SweepSpec) error {

@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRemoveStaleTemps pins the selection rule: only plain files named
+// .tmp-run-* go; checkpoints, foreign files, and directories stay.
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	keep := []string{
+		"grid-0123456789abcdef.run.gob", // a completed checkpoint
+		"notes.txt",                     // a foreign file
+	}
+	stale := []string{".tmp-run-1", ".tmp-run-xyz9"}
+	for _, name := range append(append([]string{}, keep...), stale...) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A directory matching the prefix is not a temp file; leave it.
+	if err := os.Mkdir(filepath.Join(dir, ".tmp-run-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := RemoveStaleTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(stale) {
+		t.Errorf("removed %d temps, want %d", n, len(stale))
+	}
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale temp %s still present", name)
+		}
+	}
+	for _, name := range append(keep, ".tmp-run-dir") {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("wanted to keep %s: %v", name, err)
+		}
+	}
+
+	// Missing directory: nothing to do, no error.
+	if n, err := RemoveStaleTemps(filepath.Join(dir, "nope")); err != nil || n != 0 {
+		t.Errorf("missing dir: got (%d, %v), want (0, nil)", n, err)
+	}
+}

@@ -149,6 +149,14 @@ func NewSession(opts ...SessionOption) *Session {
 	if s.budget == nil {
 		s.budget = workpool.NewTokens(0)
 	}
+	if s.ckptDir != "" {
+		// A process killed mid-checkpoint-write leaves .tmp-run-* files
+		// behind (the rename never happened). They can never be mistaken
+		// for checkpoints, so sweeping them is pure hygiene — best
+		// effort: a scan failure here surfaces properly at sweep time,
+		// when prepareDir opens the directory for real.
+		_, _ = sweep.RemoveStaleTemps(s.ckptDir)
+	}
 	return s
 }
 

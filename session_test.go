@@ -3,7 +3,10 @@ package sops_test
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -171,6 +174,73 @@ func TestSessionSweepCancellation(t *testing.T) {
 		}
 		if !reflect.DeepEqual(want.MI, got[i].MI) {
 			t.Fatalf("resumed run %d diverged:\nwant %v\ngot  %v", i, want.MI, got[i].MI)
+		}
+	}
+}
+
+// TestSessionSweepsStaleTempsOnStartup: a process killed between
+// CreateTemp and the rename in the checkpoint writer leaves .tmp-run-*
+// remnants in the checkpoint directory. Constructing a Session over that
+// directory must remove them, keep the completed checkpoints intact, and
+// resume from those checkpoints exactly as if the crash never happened.
+func TestSessionSweepsStaleTempsOnStartup(t *testing.T) {
+	specs := []sops.Spec{
+		sessionSpec(t, "k0", 1),
+		sessionSpec(t, "k1", 2),
+	}
+	dir := t.TempDir()
+
+	// First life: complete the sweep, so checkpoints exist.
+	first := sops.NewSession(sops.WithCheckpointDir(dir))
+	want, err := first.Sweep(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill: plant the remnants an interrupted writer leaves — temp
+	// files that never reached their rename, including one holding a
+	// truncated half-checkpoint.
+	for _, name := range []string{".tmp-run-1234567", ".tmp-run-7654321"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("half-written checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: a fresh session over the same directory sweeps the
+	// remnants at construction time.
+	resumed := sops.NewSession(sops.WithCheckpointDir(dir))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-run-") {
+			t.Errorf("stale temp %s survived session startup", e.Name())
+		}
+	}
+	if n := len(entries); n != len(specs) {
+		t.Errorf("checkpoint dir has %d entries after startup sweep, want %d completed checkpoints", n, len(specs))
+	}
+
+	// The completed checkpoints still resume: every run restores rather
+	// than recomputes, bit-identically.
+	var restored atomic.Int32
+	unsub := resumed.Subscribe(func(ev sops.ProgressEvent) {
+		if ev.Kind == sops.ProgressRunDone && ev.FromCheckpoint {
+			restored.Add(1)
+		}
+	})
+	got, err := resumed.Sweep(context.Background(), specs...)
+	unsub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(restored.Load()) != len(specs) {
+		t.Fatalf("resume restored %d checkpoints, want %d", restored.Load(), len(specs))
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(want[i].MI, got[i].MI) {
+			t.Fatalf("restored run %d diverged:\nwant %v\ngot  %v", i, want[i].MI, got[i].MI)
 		}
 	}
 }
