@@ -9,10 +9,15 @@
 // Usage:
 //
 //	sopinfo [-est ksg2|ksg1|ksg-paper|kernel|binned] [-k 4] [-bins 8]
+//	        [-tier exact|approx] [-subsample r] [-seed 1]
 //	        [-dims 1,1,...] [-workers 1] file.csv
 //
 // With -groups the per-group decomposition (Eq. 5) is printed as well,
 // e.g. -groups 0,0,1,1 assigns the first two variables to group 0.
+//
+// -tier approx evaluates the KSG sum at -subsample deterministically
+// drawn rows (neighbour counts still over all rows) and prints the
+// estimate with its 95% confidence interval; -seed keys the draw.
 //
 // Estimation runs on the shared tree engine; -workers partitions the
 // samples of each estimate across that many goroutines (useful for large
@@ -40,18 +45,21 @@ import (
 
 func main() {
 	var (
-		est      = flag.String("est", "ksg2", "estimator: ksg2, ksg1, ksg-paper, kernel, binned")
-		k        = flag.Int("k", 4, "k-NN parameter for the KSG estimators")
-		bins     = flag.Int("bins", 8, "bins per dimension for the binned estimator")
-		dims     = flag.String("dims", "", "comma-separated variable dimensions (default: every column is a 1-D variable)")
-		groups   = flag.String("groups", "", "comma-separated group label per variable; prints the Eq. (5) decomposition")
-		workers  = flag.Int("workers", 1, "sample-parallel goroutines per estimate (results are identical for every setting)")
-		specFile = flag.String("spec", "", "read the estimator block (kind/k/bins/workers) from a spec JSON file")
-		dumpSpec = flag.Bool("dump-spec", false, "print the resolved estimator spec JSON and exit")
+		est       = flag.String("est", "ksg2", "estimator: ksg2, ksg1, ksg-paper, kernel, binned")
+		k         = flag.Int("k", 4, "k-NN parameter for the KSG estimators")
+		bins      = flag.Int("bins", 8, "bins per dimension for the binned estimator")
+		tier      = flag.String("tier", "", "estimator tier: exact (default) or approx (subsampled KSG with error bars)")
+		subsample = flag.Int("subsample", 0, "approximate tier's evaluation budget r (1 <= r <= samples)")
+		seed      = flag.Uint64("seed", 1, "seed of the approximate tier's deterministic subsample draw")
+		dims      = flag.String("dims", "", "comma-separated variable dimensions (default: every column is a 1-D variable)")
+		groups    = flag.String("groups", "", "comma-separated group label per variable; prints the Eq. (5) decomposition")
+		workers   = flag.Int("workers", 1, "sample-parallel goroutines per estimate (results are identical for every setting)")
+		specFile  = flag.String("spec", "", "read the estimator block (kind/k/bins/workers) from a spec JSON file")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the resolved estimator spec JSON and exit")
 	)
 	flag.Parse()
 
-	esp := &sops.SpecEstimator{Kind: *est, K: *k, Bins: *bins, SampleWorkers: *workers}
+	esp := &sops.SpecEstimator{Kind: *est, K: *k, Bins: *bins, Tier: *tier, Subsample: *subsample, SampleWorkers: *workers}
 	if *specFile != "" {
 		sp, err := sops.LoadSpec(*specFile)
 		if err != nil {
@@ -72,6 +80,12 @@ func main() {
 		}
 		if esp.Bins == 0 {
 			esp.Bins = *bins
+		}
+		if esp.Tier == "" {
+			esp.Tier = *tier
+		}
+		if esp.Subsample == 0 {
+			esp.Subsample = *subsample
 		}
 		if esp.SampleWorkers == 0 {
 			esp.SampleWorkers = *workers
@@ -122,7 +136,32 @@ func main() {
 
 	fmt.Printf("samples: %d, variables: %d (total dimension %d)\n",
 		ds.NumSamples(), ds.NumVars(), ds.TotalDim())
-	fmt.Printf("multi-information (%s): %.4f bits\n", esp.Kind, estimator(ds))
+	switch sops.EstimatorTier(esp.Tier) {
+	case "", sops.TierExact:
+		if esp.Subsample != 0 {
+			fatal(fmt.Errorf("-subsample needs -tier approx"))
+		}
+		fmt.Printf("multi-information (%s): %.4f bits\n", esp.Kind, estimator(ds))
+	case sops.TierApprox:
+		variant, ok := kind.KSGVariant()
+		if !ok {
+			fatal(fmt.Errorf("-tier approx requires a KSG estimator, have %q", esp.Kind))
+		}
+		if esp.Subsample < 1 || esp.Subsample > ds.NumSamples() {
+			fatal(fmt.Errorf("-subsample %d needs 1 <= r <= samples (%d)", esp.Subsample, ds.NumSamples()))
+		}
+		opts := sops.ApproxOptions{Subsample: esp.Subsample, Seed: *seed}
+		ae := engine.MultiInfoKSGApprox(ds, esp.K, variant, opts)
+		fmt.Printf("multi-information (%s, approx r=%d): %.4f ± %.4f bits (95%% CI [%.4f, %.4f])\n",
+			esp.Kind, ae.Evals, ae.MI, 1.96*ae.StdErr, ae.CILow, ae.CIHigh)
+		// The decomposition below reuses the same draw, so the group
+		// terms' subsampling noise cancels in the Eq. (5) subtraction.
+		estimator = func(d *infotheory.Dataset) float64 {
+			return engine.MultiInfoKSGApprox(d, esp.K, variant, opts).MI
+		}
+	default:
+		fatal(fmt.Errorf("unknown -tier %q (want exact or approx)", esp.Tier))
+	}
 
 	if *groups != "" {
 		labels, err := parseInts(*groups)

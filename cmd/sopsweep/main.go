@@ -36,6 +36,14 @@
 // re-running the identical command with the same -checkpoint resumes and
 // produces byte-identical output. Results are bit-identical for every
 // -runs/-budget setting; see DESIGN.md "Public API".
+//
+// Spec and grid files may select the approximate estimator tier
+// (estimator block: "tier": "approx", "subsample": r): each run's KSG
+// sum is then evaluated at r deterministically drawn samples per step
+// with per-step error bars, ~M/r faster at large M. Approximate-tier
+// runs key their own checkpoints — they never collide with exact-tier
+// checkpoints of the same grid — and resume byte-identically, because
+// the subsample draw depends only on (seed, step), never on scheduling.
 package main
 
 import (

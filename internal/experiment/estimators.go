@@ -41,13 +41,10 @@ func (e *UnknownEstimatorError) Error() string {
 // engine it only validates the kind — the returned closure must not be
 // called. An unknown kind returns *UnknownEstimatorError.
 func NewEstimator(kind EstimatorKind, k, bins int, eng *infotheory.Engine) (infotheory.Estimator, error) {
+	if variant, ok := kind.KSGVariant(); ok {
+		return eng.KSGVariantEstimator(k, variant), nil
+	}
 	switch kind {
-	case "", EstKSG2:
-		return eng.KSGVariantEstimator(k, infotheory.KSG2), nil
-	case EstKSGPaper:
-		return eng.KSGVariantEstimator(k, infotheory.KSGPaper), nil
-	case EstKSG1:
-		return eng.KSGVariantEstimator(k, infotheory.KSG1), nil
 	case EstKernel:
 		return eng.MultiInfoKernel, nil
 	case EstBinned:
@@ -67,4 +64,19 @@ func (k EstimatorKind) UsesKNN() bool {
 		return true
 	}
 	return false
+}
+
+// KSGVariant maps a KSG estimator kind to its infotheory variant; ok is
+// false for the non-KSG kinds (which also means the kind has no
+// approximate-tier form).
+func (k EstimatorKind) KSGVariant() (variant infotheory.KSGVariant, ok bool) {
+	switch k {
+	case "", EstKSG2:
+		return infotheory.KSG2, true
+	case EstKSG1:
+		return infotheory.KSG1, true
+	case EstKSGPaper:
+		return infotheory.KSGPaper, true
+	}
+	return 0, false
 }

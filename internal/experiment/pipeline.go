@@ -45,6 +45,24 @@ const (
 // the experiment section (Sec. 6) and reports insensitivity over 2–10.
 const DefaultKSGK = 4
 
+// EstimatorTier selects between the exact estimator path and the
+// subsampled approximate tier.
+type EstimatorTier string
+
+const (
+	// TierExact is the default: every sample is an evaluation point and
+	// estimates are bit-identical to the brute-force references. The
+	// empty tier means exact, so zero-valued pipelines (and specs written
+	// before the tier existed) are unchanged.
+	TierExact EstimatorTier = "exact"
+	// TierApprox evaluates the KSG sum at Subsample points drawn
+	// deterministically from (Ensemble.Seed, step index), with neighbour
+	// searches and marginal counts still over all M samples, and reports
+	// a finite-population-corrected standard error per step in
+	// Result.MIStdErr. KSG kinds only.
+	TierApprox EstimatorTier = "approx"
+)
+
 // Pipeline is a complete experiment specification.
 type Pipeline struct {
 	// Name labels the experiment in records and plots.
@@ -61,6 +79,14 @@ type Pipeline struct {
 	// Bins is the per-dimension bin count for the binned estimator
 	// (default 8).
 	Bins int
+	// Tier selects the estimator tier: TierExact (or empty, the default)
+	// or TierApprox. The approximate tier requires a KSG estimator kind
+	// and a Subsample budget.
+	Tier EstimatorTier
+	// Subsample is the approximate tier's per-step evaluation budget r:
+	// each step's KSG sum is averaged over r deterministically drawn
+	// samples instead of all M (1 ≤ r < M). Ignored on the exact tier.
+	Subsample int
 	// Decompose additionally evaluates the per-type decomposition
 	// (Eq. 5) at every recorded step.
 	Decompose bool
@@ -154,6 +180,10 @@ type Result struct {
 	Times []int
 	// MI[t] is the estimated multi-information (bits) at Times[t].
 	MI []float64
+	// MIStdErr[t] is the standard error of MI[t] from the subsampled
+	// evaluation (bits); nil unless the pipeline ran on TierApprox. The
+	// 95% interval is MI[t] ± 1.96·MIStdErr[t].
+	MIStdErr []float64
 	// Decomp[t] is the per-type decomposition at Times[t]; nil unless
 	// Pipeline.Decompose was set.
 	Decomp []infotheory.Decomposition
@@ -253,6 +283,21 @@ func (p Pipeline) RunCtx(ctx context.Context) (*Result, error) {
 	if _, err := p.estimatorFor(effK, nil); err != nil {
 		return nil, err
 	}
+	switch p.Tier {
+	case "", TierExact:
+		if p.Subsample != 0 {
+			return nil, fmt.Errorf("experiment: Subsample (%d) is only meaningful on the approximate tier", p.Subsample)
+		}
+	case TierApprox:
+		if _, ok := p.Estimator.KSGVariant(); !ok {
+			return nil, fmt.Errorf("experiment: the approximate tier requires a KSG estimator kind, have %q", p.Estimator)
+		}
+		if p.Subsample < 1 || (p.Ensemble.M > 0 && p.Subsample >= p.Ensemble.M) {
+			return nil, fmt.Errorf("experiment: approximate tier needs 1 <= Subsample (%d) < M (%d)", p.Subsample, p.Ensemble.M)
+		}
+	default:
+		return nil, fmt.Errorf("experiment: unknown estimator tier %q (valid tiers: exact, approx)", p.Tier)
+	}
 	// The shared budget (if any) gates the simulation workers too.
 	p.Ensemble.Tokens = p.Tokens
 	if !p.Observer.Streamable() {
@@ -324,6 +369,9 @@ func (p Pipeline) runStreamed(ctx context.Context, effK int) (*Result, error) {
 		MI:     make([]float64, len(times)),
 		Labels: acc.Labels(),
 	}
+	if p.Tier == TierApprox {
+		res.MIStdErr = make([]float64, len(times))
+	}
 	if p.Decompose {
 		res.Decomp = make([]infotheory.Decomposition, len(times))
 	}
@@ -390,6 +438,9 @@ func (p Pipeline) runBatch(ctx context.Context, effK int) (*Result, error) {
 	if p.RetainEnsemble {
 		res.Ensemble = ens
 	}
+	if p.Tier == TierApprox {
+		res.MIStdErr = make([]float64, len(obs.Times))
+	}
 	if p.Decompose {
 		res.Decomp = make([]infotheory.Decomposition, len(obs.Times))
 	}
@@ -444,6 +495,8 @@ func (p Pipeline) startEstimators(ctx context.Context, res *Result, datasets []*
 		}
 		errMu.Unlock()
 	}
+	variant, _ := p.Estimator.KSGVariant()
+	approx := p.Tier == TierApprox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -459,7 +512,29 @@ func (p Pipeline) startEstimators(ctx context.Context, res *Result, datasets []*
 					setErr(err)
 					return
 				}
-				res.MI[t] = est(datasets[t])
+				if approx {
+					// The subsample draw is keyed by (master seed, step
+					// index) alone — which worker serves the step, and in
+					// what order, can never change the result. Decompose's
+					// group terms reuse the step's key: each term then
+					// evaluates the same sample subset, so the subtraction
+					// cancels draw noise instead of adding it.
+					opts := infotheory.ApproxOptions{
+						Subsample: p.Subsample,
+						Seed:      p.Ensemble.Seed,
+						Sequence:  uint64(t),
+					}
+					ae := eng.MultiInfoKSGApprox(datasets[t], effK, variant, opts)
+					res.MI[t] = ae.MI
+					res.MIStdErr[t] = ae.StdErr
+					if p.Decompose {
+						est = func(d *infotheory.Dataset) float64 {
+							return eng.MultiInfoKSGApprox(d, effK, variant, opts).MI
+						}
+					}
+				} else {
+					res.MI[t] = est(datasets[t])
+				}
 				if p.Decompose {
 					res.Decomp[t] = infotheory.Decompose(datasets[t], groups, est)
 				}

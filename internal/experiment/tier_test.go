@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func approxPipeline(name string) Pipeline {
+	p := tinyPipeline(name, "")
+	p.Tier = TierApprox
+	p.Subsample = 8
+	return p
+}
+
+// TestTierApproxProducesErrorBars: the approximate tier fills MIStdErr
+// with finite per-step standard errors, while the exact tier leaves it
+// nil.
+func TestTierApproxProducesErrorBars(t *testing.T) {
+	res, err := approxPipeline("approx").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MIStdErr) != len(res.MI) {
+		t.Fatalf("MIStdErr has %d entries, MI has %d", len(res.MIStdErr), len(res.MI))
+	}
+	for i, se := range res.MIStdErr {
+		if se <= 0 {
+			t.Errorf("step %d: standard error %v, want > 0", i, se)
+		}
+	}
+	exact, err := tinyPipeline("exact", "").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.MIStdErr != nil {
+		t.Errorf("exact tier filled MIStdErr: %v", exact.MIStdErr)
+	}
+}
+
+// TestTierApproxBitIdenticalAcrossWorkers is the scheduling-invariance
+// contract at the pipeline level: the subsample draw is keyed by
+// (master seed, step index), so every Workers/SampleWorkers combination
+// must produce byte-equal curves and error bars.
+func TestTierApproxBitIdenticalAcrossWorkers(t *testing.T) {
+	base := approxPipeline("w1")
+	base.Workers = 1
+	base.Decompose = true
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		p := approxPipeline("wN")
+		p.Workers = workers
+		p.SampleWorkers = workers
+		p.Decompose = true
+		got, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.MI {
+			if got.MI[i] != want.MI[i] || got.MIStdErr[i] != want.MIStdErr[i] {
+				t.Fatalf("Workers=%d step %d: (%v, %v) differs from serial (%v, %v)",
+					workers, i, got.MI[i], got.MIStdErr[i], want.MI[i], want.MIStdErr[i])
+			}
+			if got.Decomp[i].Between != want.Decomp[i].Between {
+				t.Fatalf("Workers=%d step %d: decomposition differs", workers, i)
+			}
+			for g := range want.Decomp[i].Within {
+				if got.Decomp[i].Within[g] != want.Decomp[i].Within[g] {
+					t.Fatalf("Workers=%d step %d: decomposition differs", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTierValidation: the tier knobs are validated up front with
+// actionable errors.
+func TestTierValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Pipeline)
+		want string
+	}{
+		{"unknown tier", func(p *Pipeline) { p.Tier = "fast" }, "unknown estimator tier"},
+		{"non-KSG kind", func(p *Pipeline) { p.Estimator = EstBinned }, "requires a KSG estimator kind"},
+		{"zero subsample", func(p *Pipeline) { p.Subsample = 0 }, "1 <= Subsample"},
+		{"subsample at M", func(p *Pipeline) { p.Subsample = 24 }, "1 <= Subsample"},
+		{"subsample without tier", func(p *Pipeline) { p.Tier = ""; p.Subsample = 8 }, "only meaningful on the approximate tier"},
+	}
+	for _, tc := range cases {
+		p := approxPipeline(tc.name)
+		tc.mut(&p)
+		_, err := p.Run()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

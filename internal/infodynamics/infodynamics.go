@@ -19,9 +19,12 @@ package infodynamics
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/infotheory"
 	"repro/internal/knn"
 	"repro/internal/mathx"
+	"repro/internal/rngx"
 	"repro/internal/sim"
 	"repro/internal/vec"
 )
@@ -43,20 +46,99 @@ import (
 // JIDT-style implementations use — replacing the former private O(m²)
 // sort-based sweep, with bit-identical results.
 func ConditionalMutualInfo(xs, ys, zs [][]float64, k int) (float64, error) {
+	w, err := buildCMISpace(xs, ys, zs, k)
+	if err != nil {
+		return 0, err
+	}
+	var acc mathx.KahanSum
+	neigh := make([]knn.Neighbor, 0, k)
+	for i := 0; i < w.m; i++ {
+		var term float64
+		term, neigh = w.term(i, k, neigh)
+		acc.Add(term)
+	}
+	nats := mathx.Digamma(float64(k)) + acc.Sum()/float64(w.m)
+	return mathx.Log2(nats), nil
+}
+
+// ConditionalMutualInfoApprox estimates I(X;Y|Z) on the approximate
+// tier: the Frenzel–Pompe sample average evaluated at opts.Subsample
+// drawn evaluation points, with neighbour searches and subspace counts
+// still exact over all m samples — the conditional sibling of
+// infotheory's MultiInfoKSGApprox, with the same deterministic draw
+// (rngx.NewStream(Seed, Sequence)), the same finite-population-corrected
+// standard error, and the same 95% interval semantics. Results depend
+// only on the inputs and options, never on scheduling.
+func ConditionalMutualInfoApprox(xs, ys, zs [][]float64, k int, opts infotheory.ApproxOptions) (infotheory.ApproxEstimate, error) {
+	w, err := buildCMISpace(xs, ys, zs, k)
+	if err != nil {
+		return infotheory.ApproxEstimate{}, err
+	}
+	r := opts.Subsample
+	if r < 1 || r > w.m {
+		return infotheory.ApproxEstimate{}, fmt.Errorf("infodynamics: approximate CMI needs 1 <= Subsample <= %d, have %d", w.m, r)
+	}
+	stream := rngx.NewStream(opts.Seed, opts.Sequence)
+	drawn := stream.SampleInto(make([]int32, w.m), w.m, r)
+	aVals := make([]float64, r)
+	neigh := make([]knn.Neighbor, 0, k)
+	for pos, i := range drawn {
+		aVals[pos], neigh = w.term(int(i), k, neigh)
+	}
+	// Reduce in draw order; mean and spread as in the multi-information
+	// tier, with the sign of the ψ-terms flipped (here they add).
+	var sum mathx.KahanSum
+	for _, a := range aVals {
+		sum.Add(a)
+	}
+	mean := sum.Sum() / float64(r)
+	var se float64
+	if r > 1 && w.m > 1 {
+		var devSum mathx.KahanSum
+		for _, a := range aVals {
+			dev := a - mean
+			devSum.Add(dev * dev)
+		}
+		s2 := devSum.Sum() / float64(r-1)
+		fpc := math.Sqrt(float64(w.m-r) / float64(w.m-1))
+		se = math.Sqrt(s2/float64(r)) * fpc
+	}
+	est := infotheory.ApproxEstimate{
+		MI:     mathx.Log2(mathx.Digamma(float64(k)) + mean),
+		StdErr: mathx.Log2(se),
+		Evals:  r,
+	}
+	est.CILow = est.MI - 1.96*est.StdErr
+	est.CIHigh = est.MI + 1.96*est.StdErr
+	return est, nil
+}
+
+// cmiSpace is the validated, tree-indexed workspace shared by the exact
+// and approximate CMI paths: the flattened joint and subspace rows plus
+// their four Chebyshev trees.
+type cmiSpace struct {
+	m, dx, dy, dz, dim               int
+	joint, zPts, xzPts, yzPts        []float64
+	jointTree, zTree, xzTree, yzTree knn.Tree
+}
+
+// buildCMISpace validates the pooled samples and builds the four-tree
+// workspace.
+func buildCMISpace(xs, ys, zs [][]float64, k int) (*cmiSpace, error) {
 	m := len(xs)
 	if len(ys) != m || len(zs) != m {
-		return 0, fmt.Errorf("infodynamics: sample counts differ: %d/%d/%d", len(xs), len(ys), len(zs))
+		return nil, fmt.Errorf("infodynamics: sample counts differ: %d/%d/%d", len(xs), len(ys), len(zs))
 	}
 	if k < 1 || m < k+2 {
-		return 0, fmt.Errorf("infodynamics: need at least k+2 = %d samples, have %d", k+2, m)
+		return nil, fmt.Errorf("infodynamics: need at least k+2 = %d samples, have %d", k+2, m)
 	}
 	dx, dy, dz := len(xs[0]), len(ys[0]), len(zs[0])
 	if dx == 0 || dy == 0 || dz == 0 {
-		return 0, fmt.Errorf("infodynamics: empty sample vectors (dims %d/%d/%d)", dx, dy, dz)
+		return nil, fmt.Errorf("infodynamics: empty sample vectors (dims %d/%d/%d)", dx, dy, dz)
 	}
 	for i := 0; i < m; i++ {
 		if len(xs[i]) != dx || len(ys[i]) != dy || len(zs[i]) != dz {
-			return 0, fmt.Errorf("infodynamics: sample %d has dims %d/%d/%d, want %d/%d/%d",
+			return nil, fmt.Errorf("infodynamics: sample %d has dims %d/%d/%d, want %d/%d/%d",
 				i, len(xs[i]), len(ys[i]), len(zs[i]), dx, dy, dz)
 		}
 	}
@@ -66,44 +148,42 @@ func ConditionalMutualInfo(xs, ys, zs [][]float64, k int) (float64, error) {
 	// the per-role max-norms) is exactly the Chebyshev distance on the
 	// concatenated row, and a strict (x,z)-count is a strict Chebyshev
 	// count on the [x|z] rows.
-	dim := dx + dy + dz
-	joint := make([]float64, m*dim)
-	zPts := make([]float64, m*dz)
-	xzPts := make([]float64, m*(dx+dz))
-	yzPts := make([]float64, m*(dy+dz))
+	w := &cmiSpace{m: m, dx: dx, dy: dy, dz: dz, dim: dx + dy + dz}
+	w.joint = make([]float64, m*w.dim)
+	w.zPts = make([]float64, m*dz)
+	w.xzPts = make([]float64, m*(dx+dz))
+	w.yzPts = make([]float64, m*(dy+dz))
 	for i := 0; i < m; i++ {
-		row := joint[i*dim : (i+1)*dim]
+		row := w.joint[i*w.dim : (i+1)*w.dim]
 		copy(row, xs[i])
 		copy(row[dx:], ys[i])
 		copy(row[dx+dy:], zs[i])
-		copy(zPts[i*dz:], zs[i])
-		xz := xzPts[i*(dx+dz) : (i+1)*(dx+dz)]
+		copy(w.zPts[i*dz:], zs[i])
+		xz := w.xzPts[i*(dx+dz) : (i+1)*(dx+dz)]
 		copy(xz, xs[i])
 		copy(xz[dx:], zs[i])
-		yz := yzPts[i*(dy+dz) : (i+1)*(dy+dz)]
+		yz := w.yzPts[i*(dy+dz) : (i+1)*(dy+dz)]
 		copy(yz, ys[i])
 		copy(yz[dy:], zs[i])
 	}
-	var jointTree, zTree, xzTree, yzTree knn.Tree
-	jointTree.Rebuild(joint, m, dim, knn.Chebyshev, nil)
-	zTree.Rebuild(zPts, m, dz, knn.Chebyshev, nil)
-	xzTree.Rebuild(xzPts, m, dx+dz, knn.Chebyshev, nil)
-	yzTree.Rebuild(yzPts, m, dy+dz, knn.Chebyshev, nil)
+	w.jointTree.Rebuild(w.joint, m, w.dim, knn.Chebyshev, nil)
+	w.zTree.Rebuild(w.zPts, m, dz, knn.Chebyshev, nil)
+	w.xzTree.Rebuild(w.xzPts, m, dx+dz, knn.Chebyshev, nil)
+	w.yzTree.Rebuild(w.yzPts, m, dy+dz, knn.Chebyshev, nil)
+	return w, nil
+}
 
-	var acc mathx.KahanSum
-	neigh := make([]knn.Neighbor, 0, k)
-	for i := 0; i < m; i++ {
-		neigh = jointTree.KNearest(joint[i*dim:(i+1)*dim], k, int32(i), neigh)
-		eps := neigh[k-1].Dist
-		nZ := zTree.CountWithin(zPts[i*dz:(i+1)*dz], eps, false, int32(i))
-		nXZ := xzTree.CountWithin(xzPts[i*(dx+dz):(i+1)*(dx+dz)], eps, false, int32(i))
-		nYZ := yzTree.CountWithin(yzPts[i*(dy+dz):(i+1)*(dy+dz)], eps, false, int32(i))
-		acc.Add(mathx.Digamma(float64(nZ+1)) -
-			mathx.Digamma(float64(nXZ+1)) -
-			mathx.Digamma(float64(nYZ+1)))
-	}
-	nats := mathx.Digamma(float64(k)) + acc.Sum()/float64(m)
-	return mathx.Log2(nats), nil
+// term evaluates sample i's ψ-term ψ(n_z+1) − ψ(n_xz+1) − ψ(n_yz+1),
+// threading the caller's neighbour scratch.
+func (w *cmiSpace) term(i, k int, neigh []knn.Neighbor) (float64, []knn.Neighbor) {
+	neigh = w.jointTree.KNearest(w.joint[i*w.dim:(i+1)*w.dim], k, int32(i), neigh)
+	eps := neigh[k-1].Dist
+	nZ := w.zTree.CountWithin(w.zPts[i*w.dz:(i+1)*w.dz], eps, false, int32(i))
+	nXZ := w.xzTree.CountWithin(w.xzPts[i*(w.dx+w.dz):(i+1)*(w.dx+w.dz)], eps, false, int32(i))
+	nYZ := w.yzTree.CountWithin(w.yzPts[i*(w.dy+w.dz):(i+1)*(w.dy+w.dz)], eps, false, int32(i))
+	return mathx.Digamma(float64(nZ+1)) -
+		mathx.Digamma(float64(nXZ+1)) -
+		mathx.Digamma(float64(nYZ+1)), neigh
 }
 
 // Trajectory is one particle's positions over the recorded steps of one

@@ -46,6 +46,10 @@ type Engine struct {
 	allVars []int
 	oneVar  [1]int
 	scratch []workerScratch
+
+	// approx is the approximate tier's independent working set (Morton
+	// layout, refreshable trees, subsample scratch); see approx.go.
+	approx approxState
 }
 
 // workerScratch is the per-goroutine query state of one engine worker.

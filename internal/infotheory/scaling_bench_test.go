@@ -32,15 +32,24 @@ var scalingSink float64
 
 // BenchmarkKSGScaling is the estimator-engine trajectory benchmark: the
 // default pipeline estimator (KSG-2, k = 4) on one time-step-shaped
-// dataset, brute vs tree, across the ensemble sizes of the roadmap
-// (M = 128 quick scale, 500 paper scale, 2000/5000 beyond). The tree
-// engine is warmed before timing, so its B/op column demonstrates the
-// steady-state 0 allocs/op contract; the brute rows document the O(m²)
-// wall the engine removes. CI uploads this output as the ksg-scaling
-// artifact; EXPERIMENTS.md holds a reference table.
+// dataset, brute vs exact tree vs approximate tier, across the ensemble
+// sizes of the roadmap (M = 128 quick scale, 500 paper scale,
+// 2000/5000/50000 beyond). Engines are warmed before timing, so the
+// B/op columns demonstrate the steady-state 0 allocs/op contract; the
+// brute rows (capped at m = 5000 — O(m²) is the wall the engine
+// removes) document the baseline, and the approx rows use the
+// BenchSubsample(m) evaluation budget with repeated same-dataset calls,
+// i.e. the zero-drift Refresh path a pipeline's consecutive steps hit.
+// The m = 50000 rows are skipped under -short (the CI race job); the
+// bench job uploads the full exact-vs-approximate curves side by side
+// as the ksg-scaling artifact, and EXPERIMENTS.md holds a reference
+// table.
 func BenchmarkKSGScaling(b *testing.B) {
 	const n, k = 8, DefaultBenchK
-	for _, m := range []int{128, 500, 2000, 5000} {
+	for _, m := range []int{128, 500, 2000, 5000, 50000} {
+		if m > 5000 && testing.Short() {
+			continue
+		}
 		d := scalingDataset(m, n, int64(m))
 		b.Run(fmt.Sprintf("tree/m=%d", m), func(b *testing.B) {
 			e := NewEngine(0)
@@ -51,6 +60,23 @@ func BenchmarkKSGScaling(b *testing.B) {
 				scalingSink = e.MultiInfoKSGVariant(d, k, KSG2)
 			}
 		})
+		b.Run(fmt.Sprintf("approx/m=%d", m), func(b *testing.B) {
+			e := NewEngine(0)
+			opts := ApproxOptions{Subsample: BenchSubsample(m), Seed: uint64(m)}
+			// Two warm calls: the first builds into buffer 0, the second
+			// exercises (and warms) the Refresh double-buffer cycle.
+			est := e.MultiInfoKSGApprox(d, k, KSG2, opts)
+			est = e.MultiInfoKSGApprox(d, k, KSG2, opts)
+			scalingSink = est.MI
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scalingSink = e.MultiInfoKSGApprox(d, k, KSG2, opts).MI
+			}
+		})
+		if m > 5000 {
+			continue
+		}
 		b.Run(fmt.Sprintf("brute/m=%d", m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -58,6 +84,20 @@ func BenchmarkKSGScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchSubsample is the approximate tier's benchmark evaluation budget:
+// r = m/16 (at least 32), a ~6% subsample whose reported error bars stay
+// a few hundredths of a bit on pipeline-shaped data.
+func BenchSubsample(m int) int {
+	r := m / 16
+	if r < 32 {
+		r = 32
+	}
+	if r > m {
+		r = m
+	}
+	return r
 }
 
 // DefaultBenchK mirrors experiment.DefaultKSGK without importing the

@@ -93,3 +93,39 @@ func Max(m map[string]float64) float64 {
 	}
 	return best
 }
+
+// SubsampleMean averages per-sample ψ-terms keyed by drawn index in map
+// order: float rounding then depends on the iteration order, so a
+// subsampled estimate would differ between repeat runs even with an
+// identical draw. The estimator keeps the terms in a slice in draw
+// order instead.
+func SubsampleMean(terms map[int]float64) float64 {
+	var s float64
+	for _, t := range terms {
+		s += t // want "accumulates a non-integer value"
+	}
+	return s / float64(len(terms))
+}
+
+// SubsampleMeanOrdered is the sanctioned form of the same reduction:
+// the draw order is part of the estimator's contract, so the terms live
+// in a slice and the mean is a fixed-order sum.
+func SubsampleMeanOrdered(terms []float64) float64 {
+	var s float64
+	for _, t := range terms {
+		s += t
+	}
+	return s / float64(len(terms))
+}
+
+// SubsampleCI collects per-index deviation terms from a weights map in
+// map order: the term list — and the CI computed from it — would come
+// out in a different order each run. (Appending the bare key is the
+// allowed collect-then-sort idiom; appending anything else is not.)
+func SubsampleCI(weights map[int]float64) []float64 {
+	var devs []float64
+	for _, w := range weights {
+		devs = append(devs, w*w) // want "appends non-key values"
+	}
+	return devs
+}

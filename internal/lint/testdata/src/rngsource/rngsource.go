@@ -21,3 +21,12 @@ func Nonce() []byte {
 
 // Sorted uses an allowed, deterministic import.
 func Sorted(xs []int) { sort.Ints(xs) }
+
+// SubsampleDraw is the forbidden way to draw an estimator's evaluation
+// subsample: rand.Perm's order depends on the global source, so the
+// drawn index set — and with it the approximate-tier estimate — would
+// differ between runs and workers. The sanctioned draw is
+// rngx.NewStream(seed, sequence).SampleInto, keyed by the spec.
+func SubsampleDraw(m, r int) []int {
+	return rand.Perm(m)[:r]
+}

@@ -48,6 +48,80 @@ func Split(seed uint64, stream uint64) Source {
 	return New(h)
 }
 
+// Stream is a value-type deterministic SplitMix64 stream: the
+// allocation-free sibling of Split for hot paths that must stay at
+// 0 allocs/op in steady state (Split builds a heap-allocated PCG
+// generator per call; a Stream lives on the caller's stack or inside a
+// recycled scratch struct). Stream (seed, i) draws are derived through
+// the same SplitMix64 mixing as Split but under a distinct domain
+// constant, so a Stream never collides with the Split sub-stream of the
+// same (seed, i) pair — experiment code can use both against one master
+// seed without coupling their draw sequences.
+//
+// Streams feed deterministic subsample selection (the approximate
+// estimator tier), so the output sequence for a given (seed, stream) is
+// frozen: TestStreamGolden pins it, and changing it invalidates every
+// approximate-tier result identity.
+type Stream struct {
+	state uint64
+}
+
+// streamDomain separates Stream's seed derivation from Split's.
+const streamDomain = 0x53_4F_50_53_54_52_4D // "SOPSTRM"
+
+// NewStream returns the stream-th independent SplitMix64 stream of the
+// given seed. Like Split, NewStream(seed, i) is stable regardless of how
+// many other streams exist or in which order they are created.
+func NewStream(seed, stream uint64) Stream {
+	return Stream{state: splitmix64(seed^streamDomain) ^ splitmix64(stream*0xA24BAED4963EE407+1)}
+}
+
+// Uint64 returns the next 64-bit output of the stream.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// IntN returns an integer uniform in [0, n), n > 0, using rejection
+// sampling so the distribution is exactly uniform (no modulo bias) and
+// the algorithm — hence every downstream result — is stable.
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic("rngx: IntN needs n > 0")
+	}
+	un := uint64(n)
+	// Reject the partial final interval of the 2^64 range.
+	limit := (^uint64(0) / un) * un
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % un)
+		}
+	}
+}
+
+// SampleInto writes a uniform random subset of r distinct integers from
+// [0, n) into dst[:r] (which must have length ≥ n, used as scratch), via
+// a partial Fisher–Yates shuffle: dst[:r] ends in the random draw order
+// the shuffle produced. The draw consumes exactly r IntN calls, so the
+// stream position after the call is a function of r alone.
+func (s *Stream) SampleInto(dst []int32, n, r int) []int32 {
+	if r < 0 || r > n || len(dst) < n {
+		panic("rngx: SampleInto needs 0 <= r <= n <= len(dst)")
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = int32(i)
+	}
+	for i := 0; i < r; i++ {
+		j := i + s.IntN(n-i)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst[:r]
+}
+
 // Normal returns a sample from N(mean, variance). Note the second parameter
 // is the variance, matching the paper's notation w ~ N(0, 0.05).
 func (s Source) Normal(mean, variance float64) float64 {

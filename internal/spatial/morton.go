@@ -1,0 +1,135 @@
+package spatial
+
+import "sort"
+
+// Morton (Z-order) row ordering.
+//
+// The estimator engine builds k-d trees over datasets whose rows are
+// ordered by sample index — spatially random, so tree construction and
+// the flat-scan fallback stride all over the row slab. Sorting rows
+// along a Z-order curve makes spatially close rows memory-adjacent:
+// tree leaves become contiguous runs and range scans walk the slab
+// mostly forward. The helper is deliberately generic (rows exposed
+// through an accessor, not a concrete layout) so infotheory.Dataset and
+// DenseGrid-style structures can share it.
+//
+// The ordering is a pure function of the point set: MortonOrder on the
+// same coordinates always yields the same permutation, and equal keys
+// fall back to the original index, so downstream code that ties on a
+// stable row ID stays bit-identical however rows were previously laid
+// out.
+
+// mortonBits is the per-axis key resolution. 16 bits per axis keeps the
+// interleaved key in 32 bits while resolving 65536 cells per axis —
+// far below float noise for any simulation box this repo produces.
+const mortonBits = 16
+
+// spreadBits16 spaces the low 16 bits of v one bit apart (abcd →
+// a0b0c0d0), the standard mask-shift interleave ladder.
+func spreadBits16(v uint32) uint32 {
+	v &= 0xFFFF
+	v = (v | v<<8) & 0x00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F
+	v = (v | v<<2) & 0x33333333
+	v = (v | v<<1) & 0x55555555
+	return v
+}
+
+// MortonKey interleaves two 16-bit cell coordinates into a 32-bit
+// Z-order key, x occupying the even bits and y the odd bits.
+func MortonKey(cx, cy uint32) uint32 {
+	return spreadBits16(cx) | spreadBits16(cy)<<1
+}
+
+// MortonScratch recycles the buffers MortonOrder needs, so steady-state
+// reordering of same-size point sets performs zero heap allocations.
+// The zero value is ready to use.
+type MortonScratch struct {
+	sorter mortonSorter
+}
+
+type mortonSorter struct {
+	keys []uint32
+	perm []int32
+}
+
+func (s *mortonSorter) Len() int { return len(s.perm) }
+func (s *mortonSorter) Less(i, j int) bool {
+	a, b := s.perm[i], s.perm[j]
+	if s.keys[a] != s.keys[b] {
+		return s.keys[a] < s.keys[b]
+	}
+	return a < b // equal keys: original index, so the order is total
+}
+func (s *mortonSorter) Swap(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+
+// MortonOrder computes the Z-order permutation of n points whose planar
+// coordinates are exposed by at (index → x, y): perm[k] is the original
+// index of the point that lands in slot k. Coordinates are quantized to
+// a 2^16-per-axis grid over the bounding box; degenerate axes (all
+// points equal) quantize to cell 0. Key ties — including the n ≤ 1 and
+// all-points-coincident cases — preserve original index order, so the
+// permutation is deterministic and a pure function of the coordinates.
+// The returned slice aliases scratch storage, valid until the next call.
+func (ms *MortonScratch) MortonOrder(n int, at func(i int) (x, y float64)) []int32 {
+	s := &ms.sorter
+	s.keys = growUint32(s.keys, n)
+	s.perm = grow(s.perm, n)
+	if n == 0 {
+		return s.perm
+	}
+	minX, minY := at(0)
+	maxX, maxY := minX, minY
+	for i := 1; i < n; i++ {
+		x, y := at(i)
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	const cells = 1<<mortonBits - 1
+	sx, sy := 0.0, 0.0
+	if maxX > minX {
+		sx = cells / (maxX - minX)
+	}
+	if maxY > minY {
+		sy = cells / (maxY - minY)
+	}
+	for i := 0; i < n; i++ {
+		x, y := at(i)
+		cx := uint32((x - minX) * sx)
+		cy := uint32((y - minY) * sy)
+		if cx > cells {
+			cx = cells // guard float round-up at the box edge
+		}
+		if cy > cells {
+			cy = cells
+		}
+		s.keys[i] = MortonKey(cx, cy)
+		s.perm[i] = int32(i)
+	}
+	sort.Sort(s)
+	return s.perm
+}
+
+// RetainedBytes reports the scratch capacity the MortonScratch keeps
+// across calls, for pool retention accounting.
+func (ms *MortonScratch) RetainedBytes() int {
+	return 4*cap(ms.sorter.keys) + 4*cap(ms.sorter.perm)
+}
+
+// growUint32 is grow for uint32 scratch.
+func growUint32(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n, n+n/2)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,143 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/rngx"
+)
+
+func TestMortonKeyInterleaves(t *testing.T) {
+	cases := []struct {
+		cx, cy uint32
+		want   uint32
+	}{
+		{0, 0, 0},
+		{1, 0, 0b01},
+		{0, 1, 0b10},
+		{1, 1, 0b11},
+		{0b11, 0b00, 0b0101},
+		{0b00, 0b11, 0b1010},
+		{0xFFFF, 0xFFFF, 0xFFFFFFFF},
+		{0xFFFF, 0, 0x55555555},
+		{0, 0xFFFF, 0xAAAAAAAA},
+	}
+	for _, c := range cases {
+		if got := MortonKey(c.cx, c.cy); got != c.want {
+			t.Errorf("MortonKey(%#x, %#x) = %#x, want %#x", c.cx, c.cy, got, c.want)
+		}
+	}
+}
+
+func TestMortonKeyIsMonotoneInQuadrants(t *testing.T) {
+	// Z-order's defining property at the top level: every key in the
+	// lower-left quadrant precedes every key in the upper-right one.
+	hi := uint32(1 << (mortonBits - 1))
+	if MortonKey(hi-1, hi-1) >= MortonKey(hi, hi) {
+		t.Fatal("lower-left quadrant does not precede upper-right")
+	}
+}
+
+func mortonPoints(n int, seed uint64) []float64 {
+	r := rngx.New(seed)
+	pts := make([]float64, 2*n)
+	for i := range pts {
+		pts[i] = r.UniformIn(-3, 3)
+	}
+	return pts
+}
+
+func atXY(pts []float64) func(int) (float64, float64) {
+	return func(i int) (float64, float64) { return pts[2*i], pts[2*i+1] }
+}
+
+func TestMortonOrderIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		pts := mortonPoints(n, uint64(n)+1)
+		var ms MortonScratch
+		perm := ms.MortonOrder(n, atXY(pts))
+		if len(perm) != n {
+			t.Fatalf("n=%d: len(perm) = %d", n, len(perm))
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("n=%d: not a permutation: %v", n, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMortonOrderIsPureFunctionOfPoints(t *testing.T) {
+	pts := mortonPoints(500, 9)
+	var a, b MortonScratch
+	pa := a.MortonOrder(500, atXY(pts))
+	// Dirty b with a different point set first: scratch reuse must not
+	// leak into the result.
+	_ = b.MortonOrder(300, atXY(mortonPoints(300, 10)))
+	pb := b.MortonOrder(500, atXY(pts))
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("perm differs at %d: %d vs %d", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestMortonOrderCoincidentPointsKeepIndexOrder(t *testing.T) {
+	// All points identical ⇒ all keys tie ⇒ identity permutation. Same
+	// for the degenerate one-axis case.
+	n := 20
+	pts := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		pts[2*i], pts[2*i+1] = 1.5, -2.5
+	}
+	var ms MortonScratch
+	perm := ms.MortonOrder(n, atXY(pts))
+	for i, v := range perm {
+		if int(v) != i {
+			t.Fatalf("coincident points: perm = %v, want identity", perm)
+		}
+	}
+}
+
+func TestMortonOrderGroupsQuadrants(t *testing.T) {
+	// Two tight clusters far apart must come out contiguous: that is the
+	// locality the row reordering exists to create.
+	r := rngx.New(4)
+	n := 200
+	pts := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		base := 0.0
+		if i%2 == 1 {
+			base = 100.0
+		}
+		pts[2*i] = base + r.UniformIn(0, 1)
+		pts[2*i+1] = base + r.UniformIn(0, 1)
+	}
+	var ms MortonScratch
+	perm := ms.MortonOrder(n, atXY(pts))
+	// After ordering, cluster membership along perm must switch exactly
+	// once.
+	switches := 0
+	for i := 1; i < n; i++ {
+		if perm[i]%2 != perm[i-1]%2 {
+			switches++
+		}
+	}
+	if switches != 1 {
+		t.Fatalf("clusters interleaved after Morton order: %d membership switches, want 1", switches)
+	}
+}
+
+func TestMortonOrderSteadyStateAllocs(t *testing.T) {
+	pts := mortonPoints(1000, 11)
+	at := atXY(pts)
+	ms := &MortonScratch{}
+	ms.MortonOrder(1000, at) // warm the scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		ms.MortonOrder(1000, at)
+	})
+	if allocs != 0 {
+		t.Fatalf("MortonOrder allocates %v per run after warm-up, want 0", allocs)
+	}
+}

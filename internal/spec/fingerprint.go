@@ -37,6 +37,13 @@ func PipelineFingerprint(id string, p experiment.Pipeline) (fp uint64, ok bool) 
 	fmt.Fprintf(h, "sim|%d|%v|%g|%g|%g|%g|%g|%d|", s.N, s.Types, s.Cutoff, s.Dt, s.NoiseVariance, s.InitRadius, s.EquilibriumThreshold, s.EquilibriumWindow)
 	fmt.Fprintf(h, "obs|%+v|", p.Observer)
 	fmt.Fprintf(h, "force|%+v", fspec)
+	// The approximate tier changes the numbers, so it keys the
+	// fingerprint — but only when enabled: exact-tier pipelines (tier
+	// absent or "exact") must keep hashing the frozen legacy recipe
+	// byte-for-byte, or every checkpoint on disk would be orphaned.
+	if p.Tier == experiment.TierApprox {
+		fmt.Fprintf(h, "|tier|%s|%d", p.Tier, p.Subsample)
+	}
 	return h.Sum64(), true
 }
 

@@ -122,6 +122,13 @@ type Estimator struct {
 	K int `json:"k,omitempty"`
 	// Bins is the per-dimension bin count of the binned kind.
 	Bins int `json:"bins,omitempty"`
+	// Tier selects the estimator tier: "exact" (or omitted, the default —
+	// absent tiers keep legacy fingerprints byte-identical) or "approx",
+	// the subsampled KSG tier with per-step error bars.
+	Tier string `json:"tier,omitempty"`
+	// Subsample is the approximate tier's per-step evaluation budget r
+	// (1 ≤ r < m). Required with tier "approx", rejected without it.
+	Subsample int `json:"subsample,omitempty"`
 	// Decompose additionally records the per-type Eq. (5) decomposition.
 	Decompose bool `json:"decompose,omitempty"`
 	// TrackEntropies additionally records the per-step entropy profile.
@@ -375,6 +382,9 @@ func (sp Spec) Validate() error {
 						add(errf("estimator.k", "k-NN parameter %d must be smaller than the ensemble size m = %d", effK, sc.M))
 					}
 				}
+				if est != nil && experiment.EstimatorTier(est.Tier) == experiment.TierApprox && est.Subsample >= sc.M {
+					add(errf("estimator.subsample", "evaluation budget %d must be smaller than the ensemble size m = %d", est.Subsample, sc.M))
+				}
 			}
 		}
 	}
@@ -393,6 +403,21 @@ func (e *Estimator) validate() []*SpecError {
 	}
 	if e.Bins < 0 {
 		errs = append(errs, errf("estimator.bins", "must be >= 0, got %d", e.Bins))
+	}
+	switch experiment.EstimatorTier(e.Tier) {
+	case "", experiment.TierExact:
+		if e.Subsample != 0 {
+			errs = append(errs, errf("estimator.subsample", `only meaningful with tier "approx"`))
+		}
+	case experiment.TierApprox:
+		if _, ok := experiment.EstimatorKind(e.Kind).KSGVariant(); !ok {
+			errs = append(errs, errf("estimator.tier", `"approx" requires a KSG estimator kind, have %q`, e.Kind))
+		}
+		if e.Subsample < 1 {
+			errs = append(errs, errf("estimator.subsample", `tier "approx" needs an evaluation budget >= 1, got %d`, e.Subsample))
+		}
+	default:
+		errs = append(errs, errf("estimator.tier", `unknown tier %q (want "exact" or "approx")`, e.Tier))
 	}
 	return errs
 }
@@ -584,6 +609,8 @@ func (sp Spec) Pipeline() (experiment.Pipeline, error) {
 		p.Estimator = experiment.EstimatorKind(est.Kind)
 		p.K = est.K
 		p.Bins = est.Bins
+		p.Tier = experiment.EstimatorTier(est.Tier)
+		p.Subsample = est.Subsample
 		p.Decompose = est.Decompose
 		p.TrackEntropies = est.TrackEntropies
 		p.Workers = est.Workers
@@ -626,11 +653,13 @@ func FromPipeline(p experiment.Pipeline) (Spec, error) {
 		}
 		sp.Observer = o
 	}
-	if p.Estimator != "" || p.K != 0 || p.Bins != 0 || p.Decompose || p.TrackEntropies || p.Workers != 0 || p.SampleWorkers != 0 {
+	if p.Estimator != "" || p.K != 0 || p.Bins != 0 || p.Tier != "" || p.Subsample != 0 || p.Decompose || p.TrackEntropies || p.Workers != 0 || p.SampleWorkers != 0 {
 		sp.Estimator = &Estimator{
 			Kind:           string(p.Estimator),
 			K:              p.K,
 			Bins:           p.Bins,
+			Tier:           string(p.Tier),
+			Subsample:      p.Subsample,
 			Decompose:      p.Decompose,
 			TrackEntropies: p.TrackEntropies,
 			Workers:        p.Workers,

@@ -184,9 +184,10 @@ func TestFingerprintMatchesLegacyCheckpointKey(t *testing.T) {
 // additions (new fields must be omitempty so absent-field JSON — and the
 // run fingerprint recipe — stay stable).
 var goldenFingerprints = map[string]string{
-	"run.json":      "be86699539325bde",
-	"grid.json":     "08070089628c7d38",
-	"scenario.json": "5fcf193f4ef640c1",
+	"run.json":        "be86699539325bde",
+	"grid.json":       "08070089628c7d38",
+	"scenario.json":   "5fcf193f4ef640c1",
+	"approx-run.json": "c271a9cdf582d515",
 }
 
 // TestGoldenSpecs loads each golden file, requires a lossless round-trip
@@ -300,6 +301,111 @@ func TestValidateTypedErrors(t *testing.T) {
 	err = tooSmall.Validate()
 	if err == nil || !contains(err.Error(), "estimator.k") {
 		t.Fatalf("k >= M not caught: %v", err)
+	}
+}
+
+// TestTierFingerprintCompat is the tier half of the frozen-recipe
+// contract: a spec with no tier field (and one saying "exact"
+// explicitly) must fingerprint byte-identically to the pre-tier recipe,
+// while switching to the approximate tier — or changing its budget —
+// must produce a new identity (the numbers differ, so shared
+// checkpoints must not collide).
+func TestTierFingerprintCompat(t *testing.T) {
+	base := runSpec(t)
+	want, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := base
+	est := *exact.Estimator
+	est.Tier = "exact"
+	exact.Estimator = &est
+	fp, err := exact.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != want {
+		t.Errorf(`tier "exact" changed the fingerprint: %016x vs %016x`, fp, want)
+	}
+	approx := base
+	estA := *approx.Estimator
+	estA.Tier, estA.Subsample = "approx", 16
+	approx.Estimator = &estA
+	afp, err := approx.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afp == want {
+		t.Error(`tier "approx" did not change the fingerprint`)
+	}
+	estB := estA
+	estB.Subsample = 32
+	approx.Estimator = &estB
+	bfp, err := approx.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfp == afp {
+		t.Error("changing Subsample did not change the fingerprint")
+	}
+}
+
+// TestTierValidationTypedErrors: the tier knobs reject unknown tiers,
+// non-KSG kinds, missing/oversized budgets and stray budgets, each as a
+// *SpecError naming the offending field.
+func TestTierValidationTypedErrors(t *testing.T) {
+	mk := func(mut func(*Estimator)) Spec {
+		sp := runSpec(t)
+		est := *sp.Estimator
+		mut(&est)
+		sp.Estimator = &est
+		return sp
+	}
+	cases := []struct {
+		name  string
+		sp    Spec
+		field string
+	}{
+		{"unknown tier", mk(func(e *Estimator) { e.Tier = "fast" }), "estimator.tier"},
+		{"non-KSG kind", mk(func(e *Estimator) { e.Kind = "binned"; e.Tier = "approx"; e.Subsample = 8 }), "estimator.tier"},
+		{"missing budget", mk(func(e *Estimator) { e.Tier = "approx" }), "estimator.subsample"},
+		{"budget at m", mk(func(e *Estimator) { e.Tier = "approx"; e.Subsample = 64 }), "estimator.subsample"},
+		{"budget beyond m", mk(func(e *Estimator) { e.Tier = "approx"; e.Subsample = 500 }), "estimator.subsample"},
+		{"stray budget", mk(func(e *Estimator) { e.Subsample = 8 }), "estimator.subsample"},
+	}
+	for _, tc := range cases {
+		err := tc.sp.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		found := false
+		for _, se := range multiErrors(err) {
+			if se.Field == tc.field {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no *SpecError for field %q in %v", tc.name, tc.field, err)
+		}
+	}
+
+	// A valid approximate-tier spec materialises with the tier threaded
+	// through to the pipeline, and survives JSON losslessly.
+	sp := mk(func(e *Estimator) { e.Tier = "approx"; e.Subsample = 16 })
+	p, err := sp.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tier != experiment.TierApprox || p.Subsample != 16 {
+		t.Fatalf("tier not threaded: %+v", p)
+	}
+	back, err := FromPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimator.Tier != "approx" || back.Estimator.Subsample != 16 {
+		t.Fatalf("FromPipeline dropped the tier: %+v", back.Estimator)
 	}
 }
 

@@ -23,9 +23,13 @@ type runFile struct {
 	ID          string
 	Fingerprint uint64
 
-	Name                 string
-	Times                []int
-	MI                   []float64
+	Name  string
+	Times []int
+	MI    []float64
+	// MIStdErr is the approximate tier's per-step standard error; nil on
+	// exact-tier runs. gob tolerates its absence, so checkpoints written
+	// before the tier existed keep decoding (the field stays nil).
+	MIStdErr             []float64
 	Decomp               []infotheory.Decomposition
 	Entropies            []infotheory.EntropyProfile
 	Labels               []int
@@ -134,6 +138,7 @@ func (r *Runner) loadCheckpoint(spec experiment.SweepSpec) (*experiment.Result, 
 		Name:                 rec.Name,
 		Times:                rec.Times,
 		MI:                   rec.MI,
+		MIStdErr:             rec.MIStdErr,
 		Decomp:               rec.Decomp,
 		Entropies:            rec.Entropies,
 		Labels:               rec.Labels,
@@ -156,6 +161,7 @@ func (r *Runner) saveCheckpoint(spec experiment.SweepSpec, res *experiment.Resul
 		Name:                 res.Name,
 		Times:                res.Times,
 		MI:                   res.MI,
+		MIStdErr:             res.MIStdErr,
 		Decomp:               res.Decomp,
 		Entropies:            res.Entropies,
 		Labels:               res.Labels,

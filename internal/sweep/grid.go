@@ -48,6 +48,11 @@ type GridSpec struct {
 	Estimator string `json:"estimator"`
 	K         int    `json:"k"`
 	Bins      int    `json:"bins,omitempty"`
+	// Tier selects the estimator tier ("" / "exact" or "approx");
+	// Subsample is the approximate tier's per-run evaluation budget
+	// (1 ≤ r < m).
+	Tier      string `json:"tier,omitempty"`
+	Subsample int    `json:"subsample,omitempty"`
 	// Decompose additionally records the per-type decomposition;
 	// TrackEntropies the per-step entropy profile.
 	Decompose      bool `json:"decompose"`
@@ -105,11 +110,13 @@ func (g *GridSpec) Spec(scale string, seed uint64) spec.Spec {
 	if g.M > 0 || g.Steps > 0 || g.RecordEvery > 0 {
 		sp.Ensemble = &spec.Ensemble{M: g.M, Steps: g.Steps, RecordEvery: g.RecordEvery}
 	}
-	if g.Estimator != "" || g.K > 0 || g.Bins > 0 || g.Decompose || g.TrackEntropies {
+	if g.Estimator != "" || g.K > 0 || g.Bins > 0 || g.Tier != "" || g.Subsample > 0 || g.Decompose || g.TrackEntropies {
 		sp.Estimator = &spec.Estimator{
 			Kind:           g.Estimator,
 			K:              g.K,
 			Bins:           g.Bins,
+			Tier:           g.Tier,
+			Subsample:      g.Subsample,
 			Decompose:      g.Decompose,
 			TrackEntropies: g.TrackEntropies,
 		}
@@ -143,6 +150,8 @@ func GridFromSpec(sp spec.Spec) (*GridSpec, error) {
 		g.Estimator = est.Kind
 		g.K = est.K
 		g.Bins = est.Bins
+		g.Tier = est.Tier
+		g.Subsample = est.Subsample
 		g.Decompose = est.Decompose
 		g.TrackEntropies = est.TrackEntropies
 	}
@@ -250,6 +259,8 @@ func (g *GridSpec) Figure(ctx context.Context, sw experiment.Sweeper, sc experim
 					Estimator:      experiment.EstimatorKind(g.Estimator),
 					K:              g.K,
 					Bins:           g.Bins,
+					Tier:           experiment.EstimatorTier(g.Tier),
+					Subsample:      g.Subsample,
 					Decompose:      g.Decompose,
 					TrackEntropies: g.TrackEntropies,
 					Ensemble: sim.EnsembleConfig{

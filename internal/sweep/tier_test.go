@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// approxGrid is a tiny grid sweep on the approximate estimator tier.
+func approxGrid() *GridSpec {
+	return &GridSpec{
+		Name:       "approx-grid",
+		N:          10,
+		TypeCounts: []int{2},
+		Cutoffs:    []float64{5},
+		Force:      GridForce{Family: "f1"},
+		Tier:       "approx",
+		Subsample:  6,
+	}
+}
+
+// TestApproxTierResumeBitIdentical is the kill/resume contract on the
+// approximate tier: a sweep resumed from a partial checkpoint directory
+// must reproduce the uninterrupted figure byte for byte — the subsample
+// draw is keyed by (seed, step), never by which process evaluates it —
+// and the per-step error bars must survive the checkpoint round trip
+// bit-identically.
+func TestApproxTierResumeBitIdentical(t *testing.T) {
+	g := approxGrid()
+	sc := tinyScale()
+	const seed = 77
+	reference, err := g.Figure(context.Background(), experiment.SerialSweeper{}, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	r := &Runner{Concurrency: 2, Dir: dir}
+	first, err := g.Figure(context.Background(), r, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(figureCSV(t, reference), figureCSV(t, first)) {
+		t.Fatal("checkpointed approx sweep differs from the serial reference")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.run.gob"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoints written (err %v)", err)
+	}
+
+	// "Kill": drop one completed run, keep the rest.
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	var restored, computed int
+	resume := &Runner{Concurrency: 2, Dir: dir, OnRunDone: func(_ int, _ experiment.SweepSpec, res *experiment.Result, fromCheckpoint bool) {
+		if fromCheckpoint {
+			restored++
+		} else {
+			computed++
+		}
+		if len(res.MIStdErr) != len(res.MI) {
+			t.Errorf("run %q: %d error bars for %d MI points", res.Name, len(res.MIStdErr), len(res.MI))
+		}
+	}}
+	resumed, err := g.Figure(context.Background(), resume, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 1 || restored != len(files)-1 {
+		t.Fatalf("restored %d / computed %d, want %d / 1", restored, computed, len(files)-1)
+	}
+	if !bytes.Equal(figureCSV(t, reference), figureCSV(t, resumed)) {
+		t.Fatal("resumed approx sweep differs from the uninterrupted one")
+	}
+}
+
+// TestApproxTierKeysOwnCheckpoints: exact-tier and approximate-tier runs
+// of the same grid must never share a checkpoint file — the tier is part
+// of the fingerprint when (and only when) it changes the numbers.
+func TestApproxTierKeysOwnCheckpoints(t *testing.T) {
+	sc := tinyScale()
+	const seed = 78
+	dir := t.TempDir()
+
+	exact := approxGrid()
+	exact.Tier, exact.Subsample = "", 0
+	r := &Runner{Concurrency: 1, Dir: dir}
+	exactFig, err := exact.Figure(context.Background(), r, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same grid on the approximate tier, same directory: every run must
+	// be computed (no cross-tier restore), and the curves must differ
+	// from the exact ones (same draw seeds, different evaluation).
+	var restored int
+	r2 := &Runner{Concurrency: 1, Dir: dir, OnRunDone: func(_ int, _ experiment.SweepSpec, _ *experiment.Result, fromCheckpoint bool) {
+		if fromCheckpoint {
+			restored++
+		}
+	}}
+	approxFig, err := approxGrid().Figure(context.Background(), r2, sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 {
+		t.Fatalf("%d approx runs restored from exact-tier checkpoints", restored)
+	}
+	same := true
+	for s := range exactFig.Series {
+		for j := range exactFig.Series[s].Y {
+			if math.Float64bits(exactFig.Series[s].Y[j]) != math.Float64bits(approxFig.Series[s].Y[j]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("approximate tier reproduced the exact curves exactly — tier not threaded through the sweep")
+	}
+}

@@ -156,6 +156,28 @@ const (
 	EstBinned   = experiment.EstBinned
 )
 
+// Approximate estimator tier (Pipeline.Tier / Pipeline.Subsample): the
+// KSG sum evaluated at a deterministically drawn subsample of the rows,
+// with neighbour searches and counts still exact over all of them, and a
+// finite-population-corrected standard error reported per estimate. The
+// exact tier stays the default and is bit-identical to the brute-force
+// references; the tiers never share checkpoint fingerprints.
+type (
+	// EstimatorTier selects "exact" or "approx" on a Pipeline.
+	EstimatorTier = experiment.EstimatorTier
+	// ApproxOptions configures an approximate-tier estimate: the
+	// evaluation budget and the (Seed, Sequence) pair keying the draw.
+	ApproxOptions = infotheory.ApproxOptions
+	// ApproxEstimate is an approximate-tier result: the estimate, its
+	// standard error, and the 95% interval, all in bits.
+	ApproxEstimate = infotheory.ApproxEstimate
+)
+
+const (
+	TierExact  = experiment.TierExact
+	TierApprox = experiment.TierApprox
+)
+
 // Matrix and force constructors.
 var (
 	// NewMatrix returns a zero symmetric l×l matrix.
@@ -244,8 +266,11 @@ var (
 	// ActiveStorage estimates the active information storage of a
 	// particle's trajectory.
 	ActiveStorage = infodynamics.ActiveStorage
-	// ConditionalMutualInfo is the underlying Frenzel–Pompe estimator.
-	ConditionalMutualInfo = infodynamics.ConditionalMutualInfo
+	// ConditionalMutualInfo is the underlying Frenzel–Pompe estimator;
+	// ConditionalMutualInfoApprox is its approximate-tier sibling with
+	// subsampled evaluation points and error bars.
+	ConditionalMutualInfo       = infodynamics.ConditionalMutualInfo
+	ConditionalMutualInfoApprox = infodynamics.ConditionalMutualInfoApprox
 	// ParticleTrajectories extracts one particle's trajectories from an
 	// ensemble.
 	ParticleTrajectories = infodynamics.ParticleTrajectories
