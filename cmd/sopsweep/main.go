@@ -28,8 +28,20 @@
 //	                          of all in-flight runs (0 = GOMAXPROCS)
 //	-checkpoint DIR           write one file per completed run and
 //	                          resume from matching files already present
+//	-cache-bytes N            front the checkpoint store with an
+//	                          in-memory LRU of N bytes (0 disables)
+//	-worker-procs N           shard the sweep across N worker processes
+//	                          (re-exec'd sopsweep children; 0/1 = in-process);
+//	                          the worker budget is split among them
 //	-out DIR                  output directory (CSV + SVG per figure)
 //	-dump-spec                print the resolved spec JSON and exit
+//
+// With -worker-procs, this process coordinates: children are spawned in
+// a hidden worker mode (`sopsweep -worker -dist-addr <socket>`), receive
+// one spec at a time over length-prefixed frames, run it against the
+// shared -checkpoint store, and stream progress back. A killed worker
+// only requeues its run to the survivors; output stays byte-identical
+// to the in-process sweep.
 //
 // SIGINT cancels the sweep gracefully: in-flight runs stop within one
 // worker-token grant, completed runs keep their checkpoints, and
@@ -86,11 +98,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		runs      = fs.Int("runs", 0, "concurrent pipeline runs (0 = GOMAXPROCS, 1 = serial)")
 		budget    = fs.Int("budget", 0, "global worker budget shared by all in-flight runs (0 = GOMAXPROCS)")
 		ckptDir   = fs.String("checkpoint", "", "checkpoint directory; completed runs resume from it")
+		cacheB    = fs.Int("cache-bytes", 0, "in-memory result cache in bytes fronting the checkpoint store (0 = off)")
+		procs     = fs.Int("worker-procs", 0, "shard the sweep across N worker processes (0/1 = in-process)")
 		outDir    = fs.String("out", "out", "output directory")
 		quiet     = fs.Bool("q", false, "suppress per-run progress lines")
+		// Hidden plumbing for -worker-procs: the coordinator re-execs
+		// this binary as `sopsweep -worker -dist-addr <socket>`.
+		workerMode = fs.Bool("worker", false, "run as a distributed sweep worker (internal)")
+		distAddr   = fs.String("dist-addr", "", "coordinator socket address for -worker (internal)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workerMode {
+		if *distAddr == "" {
+			return fmt.Errorf("-worker requires -dist-addr")
+		}
+		return sops.ServeSweepWorker(ctx, *distAddr, sops.SweepWorkerOptions{
+			Budget:     *budget,
+			Dir:        *ckptDir,
+			CacheBytes: *cacheB,
+		})
 	}
 	if *list {
 		for _, s := range sweep.Scenarios() {
@@ -121,11 +149,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	session := sops.NewSession(
+	opts := []sops.SessionOption{
 		sops.WithWorkerBudget(*budget),
 		sops.WithRunConcurrency(*runs),
 		sops.WithCheckpointDir(*ckptDir),
-	)
+		sops.WithResultCache(*cacheB),
+	}
+	if *procs > 1 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving worker executable: %w", err)
+		}
+		spawn := sops.CommandSpawner(exe, stderr, func(_ int, addr string, budget int) []string {
+			return sops.SweepWorkerArgs(addr, budget, *ckptDir)
+		})
+		opts = append(opts, sops.WithWorkerProcs(*procs, spawn))
+	}
+	session := sops.NewSession(opts...)
 	if !*quiet {
 		defer session.Subscribe(func(ev sops.ProgressEvent) {
 			if ev.Kind != sops.ProgressRunDone {

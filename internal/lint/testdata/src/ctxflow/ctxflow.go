@@ -1,11 +1,14 @@
 // Package ctxflow is the corpus for the ctxflow analyzer: minting fresh
 // context roots in library code is flagged, as is accepting a context
 // and then calling the context-free variant of an API that has a Ctx
-// sibling; threading the context through is allowed.
+// sibling; threading the context through is allowed. The networking
+// cases pin the distributed-sweep idiom: dial and accept loops must be
+// governed by the caller's context, never a fresh root.
 package ctxflow
 
 import (
 	"context"
+	"net"
 
 	"workpool"
 )
@@ -38,3 +41,45 @@ func Drop(ctx context.Context, tok *workpool.Tokens) error {
 }
 
 func use(ctx context.Context) error { return ctx.Err() }
+
+// DialDetached mints a root for the dial, detaching the connection
+// attempt from the sweep's cancellation.
+func DialDetached(addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(context.Background(), "tcp", addr) // want "context.Background"
+}
+
+// DialThreaded passes the caller's context into the dial: a cancelled
+// sweep abandons the connection attempt. Allowed.
+func DialThreaded(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// AcceptLoop is the coordinator idiom: Accept has no Ctx sibling, so the
+// loop is governed by closing the listener from a ctx-watching goroutine
+// — no fresh context root anywhere. Allowed.
+func AcceptLoop(ctx context.Context, ln net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close() // unblocks Accept below
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return ctx.Err()
+		}
+		conn.Close()
+	}
+}
+
+// AcceptLoopDetached hides the accept loop's lifetime behind a minted
+// root instead of the caller's context.
+func AcceptLoopDetached(ln net.Listener) error {
+	return AcceptLoop(context.TODO(), ln) // want "context.TODO"
+}

@@ -1,9 +1,15 @@
 // Package walltime is the corpus for the walltime analyzer: reading the
 // wall clock is flagged; pure time arithmetic on values passed in is
-// allowed.
+// allowed. The deadline cases pin the distributed-sweep timeout idiom:
+// I/O deadlines must come from the context, never from time.Now
+// arithmetic.
 package walltime
 
-import "time"
+import (
+	"context"
+	"net"
+	"time"
+)
 
 // Stamp reads the wall clock directly.
 func Stamp() int64 {
@@ -28,4 +34,30 @@ func Shift(t time.Time, d time.Duration) time.Time {
 // Span is duration arithmetic with no clock read: allowed.
 func Span(steps int, per time.Duration) time.Duration {
 	return time.Duration(steps) * per
+}
+
+// DeadlineFromClock fabricates an I/O deadline from the wall clock —
+// the timeout drifts from the caller's cancellation and the clock read
+// makes the frame exchange unreproducible.
+func DeadlineFromClock(conn net.Conn, d time.Duration) error {
+	return conn.SetReadDeadline(time.Now().Add(d)) // want "wall-clock read time.Now"
+}
+
+// DeadlineFromCtx forwards the deadline the caller already owns: the
+// context is the single clock authority. Allowed.
+func DeadlineFromCtx(ctx context.Context, conn net.Conn) error {
+	if dl, ok := ctx.Deadline(); ok {
+		return conn.SetReadDeadline(dl)
+	}
+	return nil
+}
+
+// CancelByClose is the deadline-free alternative the sweep protocol
+// uses: no SetDeadline at all, a ctx-watching goroutine severs the
+// connection and the blocked read returns. Allowed.
+func CancelByClose(ctx context.Context, conn net.Conn) {
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
 }

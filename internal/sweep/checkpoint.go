@@ -49,11 +49,11 @@ func fingerprint(ss experiment.SweepSpec) (fp uint64, ok bool) {
 	return spec.PipelineFingerprint(ss.ID, ss.Pipeline)
 }
 
-// checkpointPath names the run's file: the sanitised ID plus the
+// runFilePath names the run's file: the sanitised ID plus the
 // fingerprint, so distinct specs can never collide on a file even if
 // their IDs sanitise identically.
-func (r *Runner) checkpointPath(spec experiment.SweepSpec, fp uint64) string {
-	return filepath.Join(r.Dir, fmt.Sprintf("%s-%016x.run.gob", sanitizeID(spec.ID), fp))
+func runFilePath(dir, id string, fp uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x.run.gob", sanitizeID(id), fp))
 }
 
 // sanitizeID maps a spec ID onto the filename-safe alphabet.
@@ -70,7 +70,7 @@ func sanitizeID(id string) string {
 
 // RemoveStaleTemps deletes leftover .tmp-run-* files from a checkpoint
 // directory and reports how many it removed. These are the remnants of a
-// process killed between CreateTemp and Rename in saveCheckpoint: never
+// process killed between CreateTemp and Rename in writeRunFile: never
 // a valid checkpoint (a resume ignores them by name), but they
 // accumulate across crashes. Completed checkpoints and anything else in
 // the directory are untouched. A missing directory removes nothing and
@@ -97,12 +97,9 @@ func RemoveStaleTemps(dir string) (int, error) {
 	return removed, nil
 }
 
-// prepareDir creates the checkpoint directory and rejects duplicate spec
-// IDs, which would otherwise silently share checkpoint files.
-func (r *Runner) prepareDir(specs []experiment.SweepSpec) error {
-	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
-		return fmt.Errorf("sweep: checkpoint dir: %w", err)
-	}
+// CheckUniqueIDs rejects duplicate spec IDs, which would otherwise
+// silently share store entries (and, distributed, wire frames).
+func CheckUniqueIDs(specs []experiment.SweepSpec) error {
 	seen := make(map[string]int, len(specs))
 	for i, spec := range specs {
 		if j, dup := seen[spec.ID]; dup {
@@ -113,16 +110,12 @@ func (r *Runner) prepareDir(specs []experiment.SweepSpec) error {
 	return nil
 }
 
-// loadCheckpoint restores a completed run if a matching checkpoint
+// readRunFile restores a completed run if a matching checkpoint file
 // exists. Any mismatch — missing file, undecodable payload, wrong
 // version, ID or fingerprint — means "recompute"; a stale or foreign
 // file is never an error, it is simply not a checkpoint for this spec.
-func (r *Runner) loadCheckpoint(spec experiment.SweepSpec) (*experiment.Result, bool) {
-	fp, ok := fingerprint(spec)
-	if !ok {
-		return nil, false
-	}
-	f, err := os.Open(r.checkpointPath(spec, fp))
+func readRunFile(dir, id string, fp uint64) (*experiment.Result, bool) {
+	f, err := os.Open(runFilePath(dir, id, fp))
 	if err != nil {
 		return nil, false
 	}
@@ -131,7 +124,7 @@ func (r *Runner) loadCheckpoint(spec experiment.SweepSpec) (*experiment.Result, 
 	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
 		return nil, false
 	}
-	if rec.Version != runFileVersion || rec.ID != spec.ID || rec.Fingerprint != fp {
+	if rec.Version != runFileVersion || rec.ID != id || rec.Fingerprint != fp {
 		return nil, false
 	}
 	return &experiment.Result{
@@ -146,17 +139,16 @@ func (r *Runner) loadCheckpoint(spec experiment.SweepSpec) (*experiment.Result, 
 	}, true
 }
 
-// saveCheckpoint persists a completed (already trimmed) run. The write
+// writeRunFile persists a completed (already trimmed) run. The write
 // goes through a temp file in the same directory plus a rename, so a
 // kill mid-write leaves no half-checkpoint that a resume could trust.
-func (r *Runner) saveCheckpoint(spec experiment.SweepSpec, res *experiment.Result) error {
-	fp, ok := fingerprint(spec)
-	if !ok {
-		return nil // custom force: run is simply not checkpointable
+func writeRunFile(dir, id string, fp uint64, res *experiment.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
 	}
 	rec := runFile{
 		Version:              runFileVersion,
-		ID:                   spec.ID,
+		ID:                   id,
 		Fingerprint:          fp,
 		Name:                 res.Name,
 		Times:                res.Times,
@@ -167,8 +159,8 @@ func (r *Runner) saveCheckpoint(spec experiment.SweepSpec, res *experiment.Resul
 		Labels:               res.Labels,
 		EquilibratedFraction: res.EquilibratedFraction,
 	}
-	path := r.checkpointPath(spec, fp)
-	tmp, err := os.CreateTemp(r.Dir, ".tmp-run-*")
+	path := runFilePath(dir, id, fp)
+	tmp, err := os.CreateTemp(dir, ".tmp-run-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}

@@ -1,0 +1,407 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+	"repro/internal/workpool"
+)
+
+// SpawnFunc starts worker i against the coordinator at addr with its
+// slice of the token budget, returning a wait function that blocks until
+// the worker exits. The context is the sweep's: cancelling it must bring
+// the worker down.
+type SpawnFunc func(ctx context.Context, i int, addr string, budget int) (wait func() error, err error)
+
+// Coordinator shards sweeps across worker processes, implementing
+// experiment.Sweeper: drivers hand it the same spec lists they hand a
+// Runner and get bit-identical results back — every run is deterministic
+// and store-keyed, so which process computes it cannot matter.
+//
+// Scheduling is pull-based: each connected worker holds at most one spec
+// at a time and is handed the next only after answering, so fast workers
+// take more of the queue and a slow run cannot convoy others. A worker
+// that dies mid-run (lost connection, killed child) has its spec
+// requeued to the remaining workers; if it managed to checkpoint through
+// the shared store first, the retry loads instead of recomputes.
+type Coordinator struct {
+	// Procs is the number of workers to spawn (<= 1 means one).
+	Procs int
+	// Budget is the global token budget divided among workers
+	// (<= 0 means GOMAXPROCS), so N children on one box stay within the
+	// budget one process would have used.
+	Budget int
+	// Spawn starts the workers; required. See CommandSpawner and
+	// GoSpawner.
+	Spawn SpawnFunc
+	// Addr is the listen address (a path-shaped string means a unix
+	// socket, anything else TCP). Empty picks a unix socket in a fresh
+	// temp directory.
+	Addr string
+	// Store, when non-nil, resolves runs before any worker is consulted
+	// — a fully checkpointed sweep completes without spawning — and
+	// persists the local fallback runs. Workers reach the same durable
+	// store through their own configuration (the shared directory), not
+	// through this handle.
+	Store sweep.ResultStore
+	// OnProgress, when non-nil, receives the merged progress stream:
+	// every worker's pipeline events plus one ProgressRunDone per run,
+	// emitted by the coordinator as results land. May be invoked
+	// concurrently, like Runner.OnProgress.
+	OnProgress func(experiment.ProgressEvent)
+}
+
+// sweepState is the shared bookkeeping of one Sweep call.
+type sweepState struct {
+	queue chan int // sweep indices awaiting a worker
+
+	mu          sync.Mutex
+	outstanding int
+	err         error
+	finished    chan struct{} // closed once: success or first failure
+	conns       []net.Conn
+}
+
+func (s *sweepState) complete() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outstanding--
+	if s.outstanding == 0 && s.err == nil {
+		close(s.finished)
+	}
+}
+
+func (s *sweepState) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+		close(s.finished)
+	}
+}
+
+// failIfUnfinished aborts the sweep only if runs are still outstanding —
+// the all-workers-dead path, where waiting would hang forever.
+func (s *sweepState) failIfUnfinished(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.outstanding > 0 && s.err == nil {
+		s.err = err
+		close(s.finished)
+	}
+}
+
+func (s *sweepState) addConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns = append(s.conns, c)
+}
+
+func (s *sweepState) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+func (c *Coordinator) emit(ev experiment.ProgressEvent) {
+	if c.OnProgress != nil {
+		c.OnProgress(ev)
+	}
+}
+
+func (c *Coordinator) procs() int {
+	if c.Procs > 1 {
+		return c.Procs
+	}
+	return 1
+}
+
+func (c *Coordinator) budget() int {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// perWorkerBudget divides the global budget across workers, at least one
+// token each — the GOMAXPROCS-of-a-child analogue.
+func (c *Coordinator) perWorkerBudget() int {
+	per := c.budget() / c.procs()
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Sweep distributes the specs across worker processes and returns the
+// results in spec order. The contract is Runner.Sweep's: bit-identical
+// results, checkpoints of completed runs survive failures, cancellation
+// returns the context's error verbatim.
+func (c *Coordinator) Sweep(ctx context.Context, specs []experiment.SweepSpec) ([]*experiment.Result, error) {
+	if c.Spawn == nil {
+		return nil, errors.New("remote: Coordinator requires a Spawn function")
+	}
+	if err := sweep.CheckUniqueIDs(specs); err != nil {
+		return nil, err
+	}
+	results := make([]*experiment.Result, len(specs))
+
+	// Resolve what the store already has and serialize the rest: remote
+	// runs carry their canonical spec JSON; pipelines with no
+	// serialisable spec (custom force closures) cannot cross a process
+	// boundary and fall back to local execution.
+	var pending, local []int
+	wireSpecs := make([][]byte, len(specs))
+	for i, ss := range specs {
+		if c.Store != nil {
+			if fp, ok := spec.PipelineFingerprint(ss.ID, ss.Pipeline); ok {
+				if res, hit := c.Store.Load(ss.ID, fp); hit {
+					results[i] = res
+					c.emit(experiment.ProgressEvent{Kind: experiment.ProgressRunDone, Run: ss.ID, Index: i, FromCheckpoint: true})
+					continue
+				}
+			}
+		}
+		sp, err := spec.FromPipeline(ss.Pipeline)
+		if err != nil {
+			local = append(local, i)
+			continue
+		}
+		b, err := json.Marshal(sp)
+		if err != nil {
+			local = append(local, i)
+			continue
+		}
+		wireSpecs[i] = b
+		pending = append(pending, i)
+	}
+
+	st := &sweepState{
+		queue:       make(chan int, len(specs)),
+		finished:    make(chan struct{}),
+		outstanding: len(pending) + len(local),
+	}
+	if st.outstanding == 0 {
+		return results, nil // fully resolved from the store
+	}
+	for _, i := range pending {
+		st.queue <- i
+	}
+
+	var handlers sync.WaitGroup
+	acceptDone := make(chan struct{})
+	close(acceptDone) // replaced by a live channel when a listener starts
+	var ln net.Listener
+	if len(pending) > 0 {
+		var addr string
+		var cleanup func()
+		var err error
+		ln, addr, cleanup, err = c.listen()
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		acceptDone = make(chan struct{})
+		go func() {
+			// handlers.Add happens only here; teardown waits for this
+			// loop to stop before handlers.Wait, so Add can never race
+			// a Wait that already saw zero.
+			defer close(acceptDone)
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed: teardown
+				}
+				st.addConn(conn)
+				handlers.Add(1)
+				go func() {
+					defer handlers.Done()
+					c.handle(conn, st, specs, wireSpecs, results)
+				}()
+			}
+		}()
+
+		procs := c.procs()
+		per := c.perWorkerBudget()
+		var dead sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wait, err := c.Spawn(ctx, i, addr, per)
+			if err != nil {
+				st.fail(fmt.Errorf("remote: spawning worker %d: %w", i, err))
+				break
+			}
+			dead.Add(1)
+			go func() {
+				defer dead.Done()
+				_ = wait()
+			}()
+		}
+		go func() {
+			// Every worker exiting with runs still outstanding means no
+			// one is left to requeue to: fail instead of hanging.
+			dead.Wait()
+			st.failIfUnfinished(errors.New("remote: all workers exited with runs outstanding"))
+		}()
+	}
+
+	if len(local) > 0 {
+		go c.runLocal(ctx, st, specs, local, results)
+	}
+
+	select {
+	case <-st.finished:
+	case <-ctx.Done():
+		st.fail(ctx.Err())
+	}
+	// Teardown: stop accepting, sever every worker so in-flight handlers
+	// unblock, then wait for them — no handler may touch the results
+	// slice after Sweep returns.
+	if ln != nil {
+		ln.Close()
+	}
+	<-acceptDone
+	st.closeConns()
+	handlers.Wait()
+
+	st.mu.Lock()
+	err := st.err
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// listen opens the coordinator socket: the configured address, or a unix
+// socket in a fresh temp directory.
+func (c *Coordinator) listen() (net.Listener, string, func(), error) {
+	if c.Addr != "" {
+		ln, err := net.Listen(Network(c.Addr), c.Addr)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("remote: listen %s: %w", c.Addr, err)
+		}
+		return ln, c.Addr, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "sops-dist-")
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("remote: listen: %w", err)
+	}
+	addr := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", addr)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", nil, fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	return ln, addr, func() { os.RemoveAll(dir) }, nil
+}
+
+// handle serves one worker connection: pull an index, hand the spec
+// over, pump progress until the result (or the worker's death, which
+// requeues the index for someone else).
+func (c *Coordinator) handle(conn net.Conn, st *sweepState, specs []experiment.SweepSpec, wireSpecs [][]byte, results []*experiment.Result) {
+	defer conn.Close()
+	w := newWire(conn)
+	for {
+		select {
+		case <-st.finished:
+			return
+		case idx := <-st.queue:
+			if !c.runRemote(w, idx, st, specs, wireSpecs, results) {
+				// The connection is dead; the run is requeued for the
+				// surviving workers (the queue is sized for every spec,
+				// so this never blocks).
+				st.queue <- idx
+				return
+			}
+		}
+	}
+}
+
+// runRemote drives one run on one worker. It returns false when the
+// connection broke — the caller requeues — and true when the exchange
+// finished, successfully or not (a worker-side run failure aborts the
+// whole sweep, matching Runner.Sweep's first-error contract).
+func (c *Coordinator) runRemote(w *wire, idx int, st *sweepState, specs []experiment.SweepSpec, wireSpecs [][]byte, results []*experiment.Result) bool {
+	if err := w.send(&frame{Type: msgSpec, Index: idx, ID: specs[idx].ID, SpecJSON: wireSpecs[idx]}); err != nil {
+		return false
+	}
+	for {
+		f, err := w.recv()
+		if err != nil {
+			return false
+		}
+		switch f.Type {
+		case msgProgress:
+			if f.Event != nil {
+				c.emit(*f.Event)
+			}
+		case msgResult:
+			results[idx] = fromWire(f.Result)
+			c.emit(experiment.ProgressEvent{Kind: experiment.ProgressRunDone, Run: specs[idx].ID, Index: idx, FromCheckpoint: f.FromCheckpoint})
+			st.complete()
+			return true
+		case msgError:
+			st.fail(fmt.Errorf("remote: sweep run %q: %s", specs[idx].ID, f.Error))
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// runLocal executes the unserialisable specs in-process, one at a time,
+// through a Runner sharing the coordinator's store and a worker-sized
+// slice of the budget — the coordinator acting as one more worker for
+// the runs only it can see.
+func (c *Coordinator) runLocal(ctx context.Context, st *sweepState, specs []experiment.SweepSpec, local []int, results []*experiment.Result) {
+	tokens := workpool.NewTokens(c.perWorkerBudget())
+	for _, i := range local {
+		idx := i
+		r := &sweep.Runner{
+			Concurrency: 1,
+			Tokens:      tokens,
+			Store:       c.Store,
+			OnProgress: func(ev experiment.ProgressEvent) {
+				if ev.Kind == experiment.ProgressRunDone || ev.Kind == experiment.ProgressRunCheckpointed {
+					ev.Index = idx
+				}
+				c.emit(ev)
+			},
+		}
+		res, err := r.Sweep(ctx, []experiment.SweepSpec{specs[idx]})
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		results[idx] = res[0]
+		st.complete()
+		select {
+		case <-st.finished:
+			return
+		default:
+		}
+	}
+}
+
+// Do executes n independent jobs locally under the coordinator's global
+// budget, implementing the job half of experiment.Sweeper: jobs are
+// closures and cannot cross a process boundary, so they run in-process
+// exactly as a Runner would run them.
+func (c *Coordinator) Do(ctx context.Context, n int, fn func(worker, i int) error) error {
+	return workpool.RunSharedCtx(ctx, n, runtime.GOMAXPROCS(0), workpool.NewTokens(c.Budget), fn)
+}
+
+// compile-time check: Coordinator implements the driver-facing interface.
+var _ experiment.Sweeper = (*Coordinator)(nil)

@@ -1,0 +1,52 @@
+package remote
+
+import (
+	"context"
+	"io"
+	"os/exec"
+	"strconv"
+)
+
+// CommandSpawner starts workers as child processes of the given
+// executable — the production spawner behind `sopsweep -worker-procs`.
+// args builds the argument vector for worker i; it must route addr and
+// budget into whatever flags the binary's worker mode expects. Worker
+// stderr is forwarded to stderr (nil discards it), so a crashing child
+// says why. The child lives under the sweep context: cancellation kills
+// it.
+func CommandSpawner(name string, stderr io.Writer, args func(i int, addr string, budget int) []string) SpawnFunc {
+	return func(ctx context.Context, i int, addr string, budget int) (func() error, error) {
+		cmd := exec.CommandContext(ctx, name, args(i, addr, budget)...)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return cmd.Wait, nil
+	}
+}
+
+// WorkerArgs is the default argument vector for a sopsweep-style worker
+// mode: -worker -dist-addr <addr> -budget <n>, plus -checkpoint when a
+// shared directory is in play. Factored here so the CLI and the process
+// tests cannot drift.
+func WorkerArgs(addr string, budget int, dir string) []string {
+	args := []string{"-worker", "-dist-addr", addr, "-budget", strconv.Itoa(budget)}
+	if dir != "" {
+		args = append(args, "-checkpoint", dir)
+	}
+	return args
+}
+
+// GoSpawner runs workers as goroutines inside this process: the same
+// protocol over a real socket, no exec. The in-process harness for tests
+// and benchmarks; opts.Budget is overridden per worker by the
+// coordinator's split.
+func GoSpawner(opts WorkerOptions) SpawnFunc {
+	return func(ctx context.Context, i int, addr string, budget int) (func() error, error) {
+		o := opts
+		o.Budget = budget
+		done := make(chan error, 1)
+		go func() { done <- Serve(ctx, addr, o) }()
+		return func() error { return <-done }, nil
+	}
+}

@@ -13,14 +13,19 @@
 // Runner output is bit-identical to the serial loops for every
 // concurrency setting (enforced by the equivalence suite).
 //
-// With Dir set, every completed run is checkpointed to its own versioned
-// gob file (one file per run, modeled on sim/persist.go), and a later
-// Sweep over the same specs resumes from what is on disk: an interrupted
-// figure regeneration at paper scale loses at most the runs in flight.
+// With a ResultStore attached (Store, or the Dir shorthand), every
+// completed run is persisted — one versioned gob file per run under
+// DirStore, modeled on sim/persist.go — and a later Sweep over the same
+// specs resumes from the store: an interrupted figure regeneration at
+// paper scale loses at most the runs in flight. The store is also the
+// seam the remote package distributes over: workers in other processes
+// write through the same directory, so re-handing a run after a crash is
+// idempotent.
 package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -43,10 +48,12 @@ type Runner struct {
 	// Tokens is the global worker budget shared by all stages of all
 	// in-flight runs; nil allocates a fresh GOMAXPROCS budget per call.
 	Tokens *workpool.Tokens
-	// Dir enables checkpointing: one versioned gob file per completed
-	// run, keyed by the spec ID and a fingerprint of the full spec.
-	// Runs whose file is already present (same ID and fingerprint) are
-	// loaded instead of executed. Empty disables checkpointing.
+	// Store enables checkpointing: runs are resolved against the store
+	// (keyed by spec ID + fingerprint) before being computed, and
+	// persisted through it after. Takes precedence over Dir.
+	Store ResultStore
+	// Dir is shorthand for Store = DirStore{Dir}: one versioned gob file
+	// per completed run. Empty (with a nil Store) disables checkpointing.
 	Dir string
 	// OnRunDone, when non-nil, is invoked after each run completes (or
 	// is restored from its checkpoint), serialised by an internal mutex.
@@ -80,6 +87,19 @@ func (r *Runner) concurrency() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// store resolves the checkpoint store for one call: an explicit Store
+// wins, Dir is shorthand for the directory store, nil disables
+// checkpointing.
+func (r *Runner) store() ResultStore {
+	if r.Store != nil {
+		return r.Store
+	}
+	if r.Dir != "" {
+		return DirStore{Dir: r.Dir}
+	}
+	return nil
+}
+
 // Sweep executes every spec and returns the results in spec order,
 // implementing experiment.Sweeper. Failed sweeps keep the checkpoints of
 // the runs that did complete, so re-running the same Sweep resumes
@@ -89,7 +109,10 @@ func (r *Runner) concurrency() int {
 // run starts, runs in flight abort at their own next grant (and are not
 // checkpointed), and the context's error is returned verbatim — runs that
 // completed before the cancellation keep their checkpoints, so a
-// re-issued Sweep resumes from exactly what finished.
+// re-issued Sweep resumes from exactly what finished. A run that fails
+// for a reason of its own while the cancellation is in flight is NOT
+// absorbed into the context error: the run's error is reported (joined
+// with the context's), so worker-side failures always surface.
 //
 // When checkpointing is enabled, results carry only the persisted fields
 // (Times, MI, Decomp, Entropies, Labels, EquilibratedFraction) whether
@@ -97,8 +120,9 @@ func (r *Runner) concurrency() int {
 // never part of a sweep result in that mode, keeping fresh and resumed
 // sweeps structurally identical.
 func (r *Runner) Sweep(ctx context.Context, specs []experiment.SweepSpec) ([]*experiment.Result, error) {
-	if r.Dir != "" {
-		if err := r.prepareDir(specs); err != nil {
+	st := r.store()
+	if st != nil {
+		if err := CheckUniqueIDs(specs); err != nil {
 			return nil, err
 		}
 	}
@@ -106,8 +130,9 @@ func (r *Runner) Sweep(ctx context.Context, specs []experiment.SweepSpec) ([]*ex
 	results := make([]*experiment.Result, len(specs))
 	err := workpool.RunSharedCtx(ctx, len(specs), r.concurrency(), nil, func(_, i int) error {
 		spec := specs[i]
-		if r.Dir != "" {
-			if res, ok := r.loadCheckpoint(spec); ok {
+		fp, fpOK := fingerprint(spec)
+		if st != nil && fpOK {
+			if res, ok := st.Load(spec.ID, fp); ok {
 				results[i] = res
 				r.notify(i, spec, res, true)
 				return nil
@@ -123,29 +148,44 @@ func (r *Runner) Sweep(ctx context.Context, specs []experiment.SweepSpec) ([]*ex
 		}
 		res, err := p.RunCtx(ctx)
 		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("sweep run %q: %w", spec.ID, err)
+			return runError(ctx, spec.ID, err)
 		}
-		if r.Dir != "" {
+		if st != nil {
 			res = trimResult(res)
-			if err := r.saveCheckpoint(spec, res); err != nil {
-				return fmt.Errorf("sweep run %q: %w", spec.ID, err)
+			if fpOK {
+				if err := st.Save(spec.ID, fp, res); err != nil {
+					return fmt.Errorf("sweep run %q: %w", spec.ID, err)
+				}
+				r.emit(experiment.ProgressEvent{Kind: experiment.ProgressRunCheckpointed, Run: spec.ID, Index: i})
 			}
-			r.emit(experiment.ProgressEvent{Kind: experiment.ProgressRunCheckpointed, Run: spec.ID, Index: i})
 		}
 		results[i] = res
 		r.notify(i, spec, res, false)
 		return nil
 	})
 	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
 		return nil, err
 	}
 	return results, nil
+}
+
+// runError reports a failed run without masking it behind a concurrent
+// cancellation. A pure cancellation — the run aborted only because the
+// context was cancelled — returns the context's error verbatim,
+// preserving the Sweep cancellation contract. A run that failed for a
+// reason of its own is wrapped with its spec ID, and joined with the
+// context's error when a cancellation raced it, so both remain matchable
+// with errors.Is and the real failure survives into the coordinator log.
+func runError(ctx context.Context, id string, err error) error {
+	cancelled := ctx.Err()
+	if cancelled != nil && errors.Is(err, cancelled) {
+		return cancelled
+	}
+	wrapped := fmt.Errorf("sweep run %q: %w", id, err)
+	if cancelled != nil {
+		return errors.Join(wrapped, cancelled)
+	}
+	return wrapped
 }
 
 // Do executes n independent jobs under the runner's budget (one token

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/sweep"
+	"repro/internal/sweep/remote"
 	"repro/internal/workpool"
 )
 
@@ -104,6 +105,10 @@ type Session struct {
 	concurrency int
 	ckptDir     string
 	engines     *infotheory.EnginePool
+	store       sweep.ResultStore
+	cacheBytes  int
+	distProcs   int
+	distSpawn   remote.SpawnFunc
 
 	mu      sync.Mutex
 	subs    map[int]func(ProgressEvent)
@@ -135,6 +140,39 @@ func WithCheckpointDir(dir string) SessionOption {
 	return func(s *Session) { s.ckptDir = dir }
 }
 
+// WithResultStore replaces the session's checkpoint store with a custom
+// ResultStore implementation; it wins over WithCheckpointDir. Note that
+// distributed workers (WithWorkerProcs) are separate processes reaching
+// the store through the checkpoint directory — a custom in-process store
+// is not visible to them, only to this session's pre-dispatch resume.
+func WithResultStore(st ResultStore) SessionOption {
+	return func(s *Session) { s.store = st }
+}
+
+// WithResultCache fronts the session's checkpoint store with an
+// in-memory LRU of at most maxBytes of result payload: repeat resumes
+// (regenerating figures over one grid) are served from memory without
+// touching disk.
+func WithResultCache(maxBytes int) SessionOption {
+	return func(s *Session) { s.cacheBytes = maxBytes }
+}
+
+// WithWorkerProcs shards every session sweep across n worker processes
+// (n <= 1 disables distribution): the session acts as coordinator,
+// divides its worker budget among the children, streams their progress
+// into the session's subscribers as one merged stream, and requeues the
+// runs of any worker that dies. spawn starts worker i — use
+// CommandSpawner with a binary exposing a worker mode (sopsweep
+// -worker), or GoSpawner for an in-process harness. Combine with
+// WithCheckpointDir so workers share the durable store; results are
+// bit-identical to the local path either way.
+func WithWorkerProcs(n int, spawn SweepSpawnFunc) SessionOption {
+	return func(s *Session) {
+		s.distProcs = n
+		s.distSpawn = spawn
+	}
+}
+
 // NewSession creates a session. With no options it budgets GOMAXPROCS
 // workers, runs sweeps at GOMAXPROCS in-flight runs, and does not
 // checkpoint.
@@ -154,8 +192,15 @@ func NewSession(opts ...SessionOption) *Session {
 		// behind (the rename never happened). They can never be mistaken
 		// for checkpoints, so sweeping them is pure hygiene — best
 		// effort: a scan failure here surfaces properly at sweep time,
-		// when prepareDir opens the directory for real.
+		// when the store opens the directory for real. Distributed
+		// workers run the same sweep on their own startup.
 		_, _ = sweep.RemoveStaleTemps(s.ckptDir)
+	}
+	if s.store == nil && s.ckptDir != "" {
+		s.store = sweep.DirStore{Dir: s.ckptDir}
+	}
+	if s.store != nil && s.cacheBytes > 0 {
+		s.store = sweep.NewCacheStore(s.store, s.cacheBytes)
 	}
 	return s
 }
@@ -240,14 +285,14 @@ func (s *Session) Sweep(ctx context.Context, specs ...Spec) ([]*Result, error) {
 		}
 		runs[i] = experiment.SweepSpec{ID: sp.Name, Pipeline: p}
 	}
-	return s.runner().Sweep(ctx, runs)
+	return s.sweeper().Sweep(ctx, runs)
 }
 
 // Figure executes any spec — a named scenario, a custom sweep grid, or a
 // single run — and reduces it to its figure. This is the method behind
 // `sopsweep`/`sopfigures -spec`.
 func (s *Session) Figure(ctx context.Context, sp Spec) (*FigureData, error) {
-	return sweep.RunSpec(ctx, s.runner(), sp)
+	return sweep.RunSpec(ctx, s.sweeper(), sp)
 }
 
 // Ensemble runs only the simulation stage of a single-run spec and
@@ -300,13 +345,30 @@ func (s *Session) System(sp Spec) (*System, error) {
 	return sim.New(cfg, rngx.Split(sp.Seed, 1))
 }
 
-// runner materialises the session's sweep executor.
+// runner materialises the session's local sweep executor.
 func (s *Session) runner() *SweepRunner {
 	return &sweep.Runner{
 		Concurrency: s.concurrency,
 		Tokens:      s.budget,
-		Dir:         s.ckptDir,
+		Store:       s.store,
 		Engines:     s.engines,
 		OnProgress:  s.dispatch,
 	}
+}
+
+// sweeper selects the session's sweep executor: a distributed
+// coordinator when worker processes are configured, the in-process
+// runner otherwise. Either way the results are bit-identical — that is
+// the distribution contract — so drivers never know which they got.
+func (s *Session) sweeper() Sweeper {
+	if s.distProcs > 1 && s.distSpawn != nil {
+		return &remote.Coordinator{
+			Procs:      s.distProcs,
+			Budget:     s.budget.Cap(),
+			Spawn:      s.distSpawn,
+			Store:      s.store,
+			OnProgress: s.dispatch,
+		}
+	}
+	return s.runner()
 }

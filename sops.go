@@ -40,6 +40,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/statcomplex"
 	"repro/internal/sweep"
+	"repro/internal/sweep/remote"
 	"repro/internal/vec"
 	"repro/internal/workpool"
 )
@@ -301,6 +302,24 @@ type (
 	// WorkerBudget is a shared pool of execution tokens that bounds the
 	// machine-wide active work of any number of concurrent pipelines.
 	WorkerBudget = workpool.Tokens
+	// ResultStore persists completed sweep runs keyed by ID +
+	// fingerprint — the pluggable seam checkpointing and distribution
+	// share (see DESIGN.md "Distributed sweeps").
+	ResultStore = sweep.ResultStore
+	// DirStore is the directory-backed ResultStore (one versioned gob
+	// file per run, the WithCheckpointDir layout).
+	DirStore = sweep.DirStore
+	// CacheStore fronts any ResultStore with a byte-bounded in-memory
+	// LRU; construct with NewCacheStore.
+	CacheStore = sweep.CacheStore
+	// SweepCoordinator shards one sweep across worker processes;
+	// implements Sweeper. Sessions build one via WithWorkerProcs.
+	SweepCoordinator = remote.Coordinator
+	// SweepWorkerOptions configures ServeSweepWorker.
+	SweepWorkerOptions = remote.WorkerOptions
+	// SweepSpawnFunc starts one distributed sweep worker; see
+	// CommandSpawner and GoSpawner.
+	SweepSpawnFunc = remote.SpawnFunc
 )
 
 var (
@@ -318,6 +337,21 @@ var (
 	AverageMI   = experiment.AverageMI
 	MeanMICurve = experiment.MeanMICurve
 	MeanDeltaI  = experiment.MeanDeltaI
+	// NewCacheStore fronts a ResultStore with an in-memory LRU of at
+	// most maxBytes of result payload.
+	NewCacheStore = sweep.NewCacheStore
+	// ServeSweepWorker runs the worker side of a distributed sweep: dial
+	// the coordinator, execute specs against the shared store, stream
+	// progress back (sopsweep -worker calls this).
+	ServeSweepWorker = remote.Serve
+	// CommandSpawner starts distributed sweep workers as child processes
+	// of a binary with a worker mode; GoSpawner runs them as goroutines
+	// in this process (tests, benchmarks).
+	CommandSpawner = remote.CommandSpawner
+	GoSpawner      = remote.GoSpawner
+	// SweepWorkerArgs is the canonical argument vector for a
+	// sopsweep-style -worker mode, shared so CLI and spawner agree.
+	SweepWorkerArgs = remote.WorkerArgs
 )
 
 // Statistical complexity (the Sec. 3 alternative measure) and persistence.
