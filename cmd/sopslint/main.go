@@ -1,10 +1,12 @@
-// Command sopslint is the multichecker for this repository's five
-// contract analyzers (mapiter, rngsource, walltime, ctxflow, tokenpair
-// — see internal/lint and DESIGN.md "Mechanized contracts").
+// Command sopslint is the multichecker for this repository's eight
+// contract analyzers (mapiter, rngsource, walltime, ctxflow, tokenpair,
+// goroleak, chansend, dettaint — see internal/lint and DESIGN.md
+// "Mechanized contracts").
 //
 // It runs two ways:
 //
 //	sopslint ./...                  # standalone over package patterns
+//	sopslint -json ./...            # standalone, diagnostics as JSON
 //	go vet -vettool=$(pwd)/sopslint ./...   # as a vet tool in CI
 //
 // The vettool mode speaks cmd/go's unitchecker protocol: -V=full prints
@@ -15,6 +17,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -34,8 +37,9 @@ func main() {
 			return
 		}
 		if a == "-flags" || a == "--flags" {
-			// No tool-level flags: the suite's scoping is policy, not
-			// configuration (DefaultChecks), and suppression is per-line.
+			// No tool-level flags under vet: the suite's scoping is
+			// policy, not configuration (DefaultChecks), and suppression
+			// is per-line. -json is standalone-only.
 			fmt.Println("[]")
 			return
 		}
@@ -43,7 +47,16 @@ func main() {
 	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
 		os.Exit(unitcheck(args[len(args)-1]))
 	}
-	os.Exit(standalone(args))
+	asJSON := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	os.Exit(standalone(patterns, asJSON))
 }
 
 // printVersion emits the `name version devel ... buildID=hash` line
@@ -60,8 +73,20 @@ func printVersion() {
 	fmt.Printf("%s version devel comments-go-here buildID=%x\n", filepath.Base(os.Args[0]), sum[:16])
 }
 
-// standalone loads the patterns (default ./...) and prints diagnostics.
-func standalone(patterns []string) int {
+// jsonDiag is the machine-readable diagnostic shape emitted by -json:
+// stable field names for CI annotation tooling.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// standalone loads the patterns (default ./...) and prints diagnostics —
+// human-readable lines on stderr, or with asJSON a JSON array on stdout
+// (always an array, [] when clean, so consumers need no special cases).
+func standalone(patterns []string, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -75,8 +100,27 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "sopslint:", err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	if asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sopslint:", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		return 2

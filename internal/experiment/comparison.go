@@ -143,10 +143,8 @@ func EstimatorComparison(ctx context.Context, sw Sweeper, nVars, m, reps int, rh
 			// The PerEval column is wall-clock by definition: it reports
 			// how long an estimator takes, never feeds a result value,
 			// and is excluded from checkpoints and fingerprints.
-			//sopslint:ignore walltime PerEval timing is reporting-only instrumentation, never checkpointed or fingerprinted
 			start := time.Now()
 			vals[r] = e.fn(eng, datasets[r])
-			//sopslint:ignore walltime PerEval timing is reporting-only instrumentation, never checkpointed or fingerprinted
 			durs[r] = time.Since(start)
 			return nil
 		})

@@ -256,8 +256,6 @@ func (p Pipeline) effectiveK() (k int, used bool) {
 // Run is RunCtx under context.Background(): the uncancellable entry point,
 // kept source-compatible for existing callers and bit-identical to the
 // pre-context pipeline.
-//
-//sopslint:ignore ctxflow documented legacy wrapper: Run is the uncancellable source-compatible entry point over RunCtx
 func (p Pipeline) Run() (*Result, error) { return p.RunCtx(context.Background()) }
 
 // RunCtx is Run under a context. Cancellation stops every stage within one

@@ -1,0 +1,395 @@
+package analysis
+
+// This file is the control-flow half of the flow-sensitive layer: a
+// per-function CFG built from the typechecked AST. Blocks hold statement
+// and condition nodes in execution order; edges follow if/for/range/
+// switch/select/goto structure; return and terminal calls (panic,
+// os.Exit, log.Fatal*) edge to the synthetic Exit block. Function
+// literals are NOT descended into — each function unit (declaration or
+// literal) gets its own CFG, so an analyzer reasons about one goroutine
+// or one body at a time, the way the concurrency contracts are written.
+
+import (
+	"go/ast"
+)
+
+// A Block is one straight-line run of nodes with no internal control
+// transfer. Nodes are statements plus the condition expressions of the
+// branches that end the block, in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Terminal marks a block ending in a call that unwinds or ends the
+	// process (panic, os.Exit, log.Fatal*): its edge to Exit is not a
+	// normal return path, and must-analyses may treat it as satisfied.
+	Terminal bool
+}
+
+// A CFG is the control-flow graph of one function unit (a declaration
+// body or a function literal body). Entry has no predecessors; every
+// normal or terminal exit reaches Exit. Defers collects the unit's defer
+// statements in source order — they run on every exit path, so path
+// analyses consult them separately instead of threading them through
+// the edges.
+type CFG struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+	Defers      []*ast.DeferStmt
+}
+
+// IsTerminalCall reports whether a call expression ends the function
+// abnormally (so control never falls through). Analyzers supply it to
+// BuildCFG; nil means only the builtin panic is terminal.
+type IsTerminalCall func(*ast.CallExpr) bool
+
+// BuildCFG constructs the CFG of one function body. isTerminal, when
+// non-nil, identifies calls that never return (os.Exit, log.Fatal*);
+// panic is always terminal.
+func BuildCFG(body *ast.BlockStmt, isTerminal IsTerminalCall) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{},
+		isTerminal: isTerminal,
+		labels:     map[string]*labelBlocks{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit) // fall off the end: implicit return
+	}
+	return b.cfg
+}
+
+// labelBlocks is the jump-target bookkeeping of one label: where break,
+// continue and goto to that label land.
+type labelBlocks struct {
+	breakTo    *Block
+	continueTo *Block
+	gotoTo     *Block
+}
+
+type cfgBuilder struct {
+	cfg        *CFG
+	cur        *Block // nil after an unconditional transfer
+	isTerminal IsTerminalCall
+	labels     map[string]*labelBlocks
+
+	// innermost-first stacks of enclosing break/continue targets
+	breaks    []*Block
+	continues []*Block
+
+	// pendingLabel is set between a LabeledStmt and its statement, so
+	// the loop/switch registers its targets under the label.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// use appends a node to the current block, starting a fresh unreachable
+// block if control already transferred (dead code still gets analyzed,
+// it just has no predecessors).
+func (b *cfgBuilder) use(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminalExpr reports whether the expression statement never returns.
+func (b *cfgBuilder) terminalExpr(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.isTerminal != nil && b.isTerminal(call)
+}
+
+// takeLabel consumes the pending label for the statement that now owns
+// its jump targets, registering the given blocks.
+func (b *cfgBuilder) takeLabel(breakTo, continueTo *Block) {
+	if b.pendingLabel == "" {
+		return
+	}
+	lb := b.labelFor(b.pendingLabel)
+	lb.breakTo = breakTo
+	lb.continueTo = continueTo
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) labelFor(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.use(s.Init)
+		}
+		b.use(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.use(s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.takeLabel(after, post)
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.use(s.Cond)
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.use(s.Post)
+			b.edge(post, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		after := b.newBlock()
+		b.takeLabel(after, head)
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // key/value binding happens here
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.use(s.Init)
+		}
+		if s.Tag != nil {
+			b.use(s.Tag)
+		}
+		b.switchClauses(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.use(s.Init)
+		}
+		b.switchClauses(s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		b.selectClauses(s.Body)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		lb := b.labelFor(s.Label.Name)
+		// goto target: the labeled statement's entry point
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		lb.gotoTo = target
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.use(s)
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil {
+				b.edge(b.cur, b.labelFor(s.Label.Name).breakTo)
+			} else if len(b.breaks) > 0 {
+				b.edge(b.cur, b.breaks[len(b.breaks)-1])
+			}
+			b.cur = nil
+		case "continue":
+			if s.Label != nil {
+				b.edge(b.cur, b.labelFor(s.Label.Name).continueTo)
+			} else if len(b.continues) > 0 {
+				b.edge(b.cur, b.continues[len(b.continues)-1])
+			}
+			b.cur = nil
+		case "goto":
+			if s.Label != nil {
+				lb := b.labelFor(s.Label.Name)
+				if lb.gotoTo == nil {
+					lb.gotoTo = b.newBlock() // forward goto: placeholder
+				}
+				b.edge(b.cur, lb.gotoTo)
+			}
+			b.cur = nil
+		case "fallthrough":
+			// handled by switchClauses; the edge to the next clause is
+			// added there
+		}
+
+	case *ast.ReturnStmt:
+		b.use(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.use(s)
+		if b.terminalExpr(s.X) {
+			b.cur.Terminal = true
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.use(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, …
+		b.use(s)
+	}
+}
+
+// switchClauses wires an (expression or type) switch body: the current
+// block branches to every clause (and to after, when no default exists);
+// fallthrough chains clause bodies.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, assign ast.Stmt) {
+	cond := b.cur
+	after := b.newBlock()
+	b.takeLabel(after, nil)
+	hasDefault := false
+
+	clauseBlocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		clauseBlocks[i] = b.newBlock()
+	}
+	b.breaks = append(b.breaks, after)
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cond, clauseBlocks[i])
+		b.cur = clauseBlocks[i]
+		if assign != nil {
+			// the type switch's per-clause binding
+			b.use(assign)
+		}
+		for _, e := range cc.List {
+			b.use(e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = true
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+			b.cur = nil
+		}
+		b.edge(b.cur, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault || len(body.List) == 0 {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+// selectClauses wires a select: every comm clause is a successor; with
+// no default the statement blocks until one fires, so there is no
+// fall-past edge (and an empty select has no successors at all).
+func (b *cfgBuilder) selectClauses(body *ast.BlockStmt) {
+	cond := b.cur
+	after := b.newBlock()
+	b.takeLabel(after, nil)
+	b.breaks = append(b.breaks, after)
+	for _, c := range body.List {
+		cc := c.(*ast.CommClause)
+		cb := b.newBlock()
+		b.edge(cond, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.use(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if len(body.List) == 0 {
+		// select{}: blocks forever; after is unreachable
+		b.cur = after
+		return
+	}
+	b.cur = after
+}

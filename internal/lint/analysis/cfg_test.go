@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns it with the
+// terminal-call predicate used by the suite (none, for these tests).
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// callNamed matches a call statement to the named function.
+func callNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// TestMustReachExit pins the must-analysis on the shapes the goroleak
+// rules depend on: deferred calls satisfy every path, straight-line
+// calls satisfy, a call skipped by an early return does not, a call on
+// both branches of an if does, and a call only inside a conditional
+// loop does not.
+func TestMustReachExit(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"deferred", "defer done()\nwork()", true},
+		{"straight line", "work()\ndone()", true},
+		{"early return skips", "if cond() {\nreturn\n}\ndone()", false},
+		{"both branches", "if cond() {\ndone()\nreturn\n}\ndone()", true},
+		{"only inside loop", "for cond() {\ndone()\n}", false},
+		{"infinite loop without call", "for {\nwork()\n}", false},
+		{"select both arms", "select {\ncase <-a:\ndone()\ncase <-b:\ndone()\n}", true},
+		{"select one arm", "select {\ncase <-a:\ndone()\ncase <-b:\n}", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := BuildCFG(parseBody(t, c.body), nil)
+			if got := cfg.MustReachExit(callNamed("done")); got != c.want {
+				t.Errorf("MustReachExit(done) = %v, want %v\nbody:\n%s", got, c.want, c.body)
+			}
+		})
+	}
+}
+
+// TestSolveReachability runs the trivial forward may-problem (is the
+// block reachable?) and checks branch joins and dead code: statements
+// after an unconditional return must sit in unreachable blocks.
+func TestSolveReachability(t *testing.T) {
+	body := parseBody(t, "work()\nreturn\ndead()")
+	cfg := BuildCFG(body, nil)
+	facts := Solve(cfg, Problem[bool]{
+		Dir:      Forward,
+		Boundary: true,
+		Merge:    func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+		Transfer: func(_ *Block, in bool) bool { return in },
+	})
+	blockContains := func(b *Block, pred func(ast.Node) bool) bool {
+		found := false
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m != nil && pred(m) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return found
+	}
+	foundDead := false
+	for _, b := range cfg.Blocks {
+		if blockContains(b, callNamed("dead")) {
+			foundDead = true
+			if _, reachable := facts[b]; reachable {
+				t.Errorf("dead() block is in the solved fact map; want unreachable")
+			}
+		}
+		if blockContains(b, callNamed("work")) {
+			if in, ok := facts[b]; !ok || !in {
+				t.Errorf("work() block fact = %v, %v; want reachable with boundary fact", in, ok)
+			}
+		}
+	}
+	if !foundDead {
+		t.Fatal("corpus error: dead() not found in any block")
+	}
+}
+
+// TestTaintStateOps pins the lattice helpers the taint engine leans on:
+// Set is a strong (replacing) update that drops zero facts, Add is a
+// weak (unioning) update, Merge unions pointwise, and Equal compares
+// kind masks in both directions.
+func TestTaintStateOps(t *testing.T) {
+	k1 := types.NewVar(token.NoPos, nil, "k1", types.Typ[types.Int])
+	k2 := types.NewVar(token.NoPos, nil, "k2", types.Typ[types.Int])
+
+	a := TaintState{}
+	a = a.Set(k1, TaintVal{Kinds: 1, Src: "one"})
+	a = a.Add(k1, TaintVal{Kinds: 2, Src: "two"})
+	if got := a[k1].Kinds; got != 3 {
+		t.Errorf("Add after Set: kinds = %b, want 11", got)
+	}
+
+	b := TaintState{}
+	b = b.Set(k2, TaintVal{Kinds: 4, Src: "four"})
+	m := a.Merge(b)
+	if m[k1].Kinds != 3 || m[k2].Kinds != 4 {
+		t.Errorf("Merge lost facts: %v", m)
+	}
+	if a.Equal(m) {
+		t.Error("Equal: merged state compares equal to its smaller input")
+	}
+	if !m.Equal(a.Merge(b)) {
+		t.Error("Equal: identical merges compare unequal")
+	}
+
+	// Strong update to zero kinds removes the entry entirely.
+	m = m.Set(k1, TaintVal{})
+	if _, ok := m[k1]; ok {
+		t.Error("Set to zero kinds should delete the entry")
+	}
+}

@@ -12,6 +12,12 @@ func TestCtxFlowCorpus(t *testing.T) { runCorpus(t, soloCheck(CtxFlow), "ctxflow
 
 func TestTokenPairCorpus(t *testing.T) { runCorpus(t, soloCheck(TokenPair), "tokenpair", "workpool") }
 
+func TestGoroleakCorpus(t *testing.T) { runCorpus(t, soloCheck(Goroleak), "goroleak") }
+
+func TestChansendCorpus(t *testing.T) { runCorpus(t, soloCheck(Chansend), "chansend") }
+
+func TestDettaintCorpus(t *testing.T) { runCorpus(t, soloCheck(Dettaint), "dettaint") }
+
 // TestSuppressionCorpus exercises the //sopslint:ignore directive: it
 // runs the walltime analyzer over a corpus where every clock read is
 // paired with a directive — valid (suppressing), misnamed (not
@@ -52,6 +58,20 @@ func TestDefaultChecksScope(t *testing.T) {
 		{"tokenpair", "repro/cmd/sops", true},
 		{"tokenpair", "repro/internal/workpool", true},
 		{"tokenpair", "os", false},
+		// goroleak and chansend bind library code like walltime/ctxflow:
+		// root + internal/..., not CLIs (which own program lifetime).
+		{"goroleak", "repro/internal/sweep/remote", true},
+		{"goroleak", "repro/internal/workpool", true},
+		{"goroleak", "repro/cmd/sops", false},
+		{"goroleak", "repro/internal/lint", false},
+		{"chansend", "repro/internal/workpool", true},
+		{"chansend", "repro/cmd/sops", false},
+		// dettaint binds the result-producing packages plus the spec
+		// package (the fingerprint lives there).
+		{"dettaint", "repro/internal/experiment", true},
+		{"dettaint", "repro/internal/spec", true},
+		{"dettaint", "repro/internal/vec", false},
+		{"dettaint", "repro/cmd/sops", false},
 	}
 	for _, c := range cases {
 		chk, ok := byName[c.analyzer]

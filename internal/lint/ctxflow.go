@@ -16,9 +16,11 @@ import (
 //
 //  1. Minting a fresh root — context.Background() or context.TODO() —
 //     inside internal packages, which silently detaches everything
-//     downstream from the caller's cancellation. The documented legacy
-//     wrappers (Pipeline.Run, RunEnsemble, …) are the sanctioned
-//     exceptions and each carries a //sopslint:ignore ctxflow directive.
+//     downstream from the caller's cancellation. The one sanctioned
+//     shape is the documented legacy wrapper: a function with no ctx
+//     parameter whose Background() feeds a call to its own Ctx variant
+//     (Run → RunCtx). There the root is the API seam itself, and the
+//     exemption is structural rather than an ignore directive.
 //  2. An exported function that accepts a context but then calls the
 //     context-free variant of an API that has one (Acquire where
 //     AcquireCtx exists), quietly dropping cancellation mid-chain.
@@ -30,11 +32,12 @@ var CtxFlow = &analysis.Analyzer{
 
 func runCtxFlow(pass *analysis.Pass) error {
 	for _, f := range pass.SourceFiles() {
+		sanctioned := wrapperRoots(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
+			if call, ok := n.(*ast.CallExpr); ok && !sanctioned[call] {
 				if fn := calleeFunc(pass, call); fn != nil && pkgPathIs(fn.Pkg(), "context") {
 					if fn.Name() == "Background" || fn.Name() == "TODO" {
-						pass.Reportf(call.Pos(), "context.%s() in library code detaches callees from the caller's cancellation; accept and pass through a ctx parameter (documented legacy wrappers annotate //sopslint:ignore ctxflow)", fn.Name())
+						pass.Reportf(call.Pos(), "context.%s() in library code detaches callees from the caller's cancellation; accept and pass through a ctx parameter (or make this a Run/RunCtx-style wrapper pair)", fn.Name())
 					}
 				}
 			}
@@ -52,6 +55,52 @@ func runCtxFlow(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// wrapperRoots collects the sanctioned context.Background()/TODO()
+// calls of the file: those inside a declaration that has no context
+// parameter, appearing as an argument to a call of the declaration's
+// own Ctx variant — the `func (p Pipeline) Run() { return
+// p.RunCtx(context.Background()) }` legacy-wrapper shape. The root is
+// minted exactly at the API seam and handed straight to the
+// cancellation-aware implementation, so nothing detaches.
+func wrapperRoots(pass *analysis.Pass, f *ast.File) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || hasCtxParam(pass, fd) {
+			continue
+		}
+		want := fd.Name.Name + "Ctx"
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name != want {
+				return true
+			}
+			for _, arg := range call.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if fn := calleeFunc(pass, inner); fn != nil && pkgPathIs(fn.Pkg(), "context") &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					out[inner] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
 }
 
 // hasCtxParam reports whether the function declares a context.Context

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+)
+
+// Dettaint tracks nondeterminism taint from its sources to result
+// sinks in the result-producing packages and the spec fingerprint.
+//
+// Contract (DESIGN.md): repeat runs are bit-identical, and a run's
+// fingerprint is a pure function of its spec. Three value sources break
+// that if they reach a result: map iteration order (randomized per
+// range statement), the wall clock, and raw math/rand randomness (rngx
+// is the sanctioned, seed-derived source). Where mapiter checks the
+// shape of a single loop, dettaint follows the values: taint flows
+// through locals, arithmetic, containers and one level of package-local
+// calls, and is reported where it lands in a sink —
+//
+//   - a write into a hash (the fingerprint/checkpoint identity), or
+//   - a value returned by an exported function (a result leaving the
+//     package).
+//
+// The sanctioned idioms sanitize: sorting a key slice clears its
+// map-order taint (collect-sort-iterate), key-indexed container writes
+// and exact integer accumulation are order-insensitive and propagate
+// nothing. Wall-clock values are a dettaint concern only at hash
+// writes; their instrumentation lifecycle is walltime's contract.
+var Dettaint = &analysis.Analyzer{
+	Name: "dettaint",
+	Doc:  "track map-order/wall-clock/raw-rand taint to returned results and fingerprint hash writes",
+	Run:  runDettaint,
+}
+
+func runDettaint(pass *analysis.Pass) error {
+	eng := newTaintEngine(pass)
+	for _, f := range pass.SourceFiles() {
+		for _, u := range analysis.Units(f) {
+			for _, ev := range eng.analyze(u) {
+				switch ev.kind {
+				case evHashSink:
+					where := ""
+					if ev.where != "" {
+						where = " " + ev.where
+					}
+					pass.Reportf(ev.pos, "nondeterministic value (%s) feeds the fingerprint/checkpoint hash%s: the hash must be a pure function of the spec; derive the bytes from sorted, seed-keyed inputs, or annotate //sopslint:ignore dettaint <reason>", taintLabel(ev), where)
+				case evReturnSink:
+					pass.Reportf(ev.pos, "nondeterministic value (%s) reaches the result returned by %s: results must be bit-identical across runs; collect and sort map keys (the sortedCounts idiom) or draw randomness from rngx, or annotate //sopslint:ignore dettaint <reason>", taintLabel(ev), ev.where)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// taintLabel names the taint source for a diagnostic, preferring the
+// concrete source expression the engine recorded.
+func taintLabel(ev taintEvent) string {
+	if ev.src != "" {
+		return ev.src
+	}
+	switch {
+	case ev.kinds&taintMapOrder != 0:
+		return "map iteration order"
+	case ev.kinds&taintClock != 0:
+		return "the wall clock"
+	case ev.kinds&taintRand != 0:
+		return "unseeded randomness"
+	}
+	return "nondeterministic input"
+}

@@ -10,7 +10,10 @@ import (
 
 const directivePrefix = "//sopslint:ignore"
 
-// directive is one parsed //sopslint:ignore comment.
+// directive is one parsed //sopslint:ignore comment. The analyzer
+// field may be a comma-separated list ("mapiter,walltime"); splitting
+// and validating the names is applyDirectives' job, so a malformed
+// list still carries its position here.
 type directive struct {
 	pos      token.Position
 	analyzer string
@@ -45,10 +48,14 @@ func fileDirectives(pkg *analysis.Package) []directive {
 
 // applyDirectives filters diagnostics through the package's
 // //sopslint:ignore directives: a directive suppresses the named
-// analyzer's findings on its own line and on the line directly below
-// (the directive-above-the-statement form). Malformed directives —
-// unknown analyzer name, or no reason — surface as diagnostics of the
-// pseudo-analyzer "sopslint", so every suppression stays auditable.
+// analyzers' findings on its own line and on the line directly below
+// (the directive-above-the-statement form). The analyzer field is a
+// comma-separated list; each known name suppresses independently, and
+// each unknown name is its own diagnostic — one typo in a list does
+// not silently void the rest, and does not hide that it is a typo.
+// Malformed directives — unknown analyzer name, or no reason — surface
+// as diagnostics of the pseudo-analyzer "sopslint", so every
+// suppression stays auditable.
 func applyDirectives(pkg *analysis.Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
 	known := map[string]bool{}
 	for _, a := range Analyzers() {
@@ -63,28 +70,38 @@ func applyDirectives(pkg *analysis.Package, diags []analysis.Diagnostic) []analy
 	suppressed := map[key]bool{}
 	var out []analysis.Diagnostic
 	for _, d := range fileDirectives(pkg) {
-		switch {
-		case d.analyzer == "":
+		if d.analyzer == "" {
 			out = append(out, analysis.Diagnostic{
 				Pos:      d.pos,
 				Analyzer: "sopslint",
-				Message:  "//sopslint:ignore needs an analyzer name and a reason: //sopslint:ignore <analyzer> <reason>",
+				Message:  "//sopslint:ignore needs an analyzer name and a reason: //sopslint:ignore <analyzer>[,<analyzer>...] <reason>",
 			})
-		case !known[d.analyzer]:
-			out = append(out, analysis.Diagnostic{
-				Pos:      d.pos,
-				Analyzer: "sopslint",
-				Message:  fmt.Sprintf("unknown analyzer %q in //sopslint:ignore directive", d.analyzer),
-			})
-		case d.reason == "":
-			out = append(out, analysis.Diagnostic{
-				Pos:      d.pos,
-				Analyzer: "sopslint",
-				Message:  "//sopslint:ignore " + d.analyzer + " needs a reason",
-			})
-		default:
-			suppressed[key{d.pos.Filename, d.pos.Line, d.analyzer}] = true
-			suppressed[key{d.pos.Filename, d.pos.Line + 1, d.analyzer}] = true
+			continue
+		}
+		for _, name := range strings.Split(d.analyzer, ",") {
+			switch {
+			case name == "":
+				out = append(out, analysis.Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "sopslint",
+					Message:  "empty analyzer name in //sopslint:ignore list " + d.analyzer,
+				})
+			case !known[name]:
+				out = append(out, analysis.Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "sopslint",
+					Message:  fmt.Sprintf("unknown analyzer %q in //sopslint:ignore directive", name),
+				})
+			case d.reason == "":
+				out = append(out, analysis.Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "sopslint",
+					Message:  "//sopslint:ignore " + name + " needs a reason",
+				})
+			default:
+				suppressed[key{d.pos.Filename, d.pos.Line, name}] = true
+				suppressed[key{d.pos.Filename, d.pos.Line + 1, name}] = true
+			}
 		}
 	}
 	for _, d := range diags {

@@ -1,20 +1,29 @@
-// Package lint is sopslint: five custom static analyzers that mechanize
-// this repository's written contracts — bit-identical determinism,
-// rngx-derived randomness, wall-clock-free fingerprints, context-aware
-// cancellation, and balanced worker-token accounting (DESIGN.md,
-// "Mechanized contracts"). The suite runs as `go vet
-// -vettool=$(sopslint)` in CI, standalone via cmd/sopslint, and
-// in-process through the meta-test that keeps this repository at zero
-// diagnostics.
+// Package lint is sopslint: eight custom static analyzers that
+// mechanize this repository's written contracts — bit-identical
+// determinism, rngx-derived randomness, wall-clock-free fingerprints,
+// context-aware cancellation, balanced worker-token accounting, joined
+// goroutine lifecycles, cancellable producer sends, and
+// nondeterminism-free result/fingerprint flows (DESIGN.md, "Mechanized
+// contracts"). The suite runs as `go vet -vettool=$(sopslint)` in CI,
+// standalone via cmd/sopslint, and in-process through the meta-test
+// that keeps this repository at zero diagnostics.
+//
+// The syntax-shape analyzers work on the AST directly; walltime,
+// dettaint, goroleak and chansend sit on the flow-sensitive layer in
+// internal/lint/analysis — a per-function CFG, a worklist dataflow
+// solver, and one-level call summaries — so sanctioned idioms
+// (collect-sort-iterate, deferred Done on all paths, Duration
+// instrumentation columns) pass without annotation.
 //
 // A finding that is a sanctioned exception is silenced with a directive
 // on (or immediately above) the offending line:
 //
-//	//sopslint:ignore <analyzer> <reason>
+//	//sopslint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The directive names exactly one analyzer and must give a reason; a
-// directive naming an unknown analyzer, or giving no reason, is itself a
-// diagnostic, so suppressions cannot rot silently.
+// The directive names one or more analyzers (comma-separated, no
+// spaces) and must give a reason; a directive naming an unknown
+// analyzer, or giving no reason, is itself a diagnostic, so
+// suppressions cannot rot silently.
 package lint
 
 import (
@@ -61,9 +70,9 @@ func contractScope(path string) bool {
 	return path == "repro" || strings.HasPrefix(path, "repro/internal/")
 }
 
-// Analyzers returns the five sopslint analyzers.
+// Analyzers returns the eight sopslint analyzers.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Mapiter, RNGSource, Walltime, CtxFlow, TokenPair}
+	return []*analysis.Analyzer{Mapiter, RNGSource, Walltime, CtxFlow, TokenPair, Goroleak, Chansend, Dettaint}
 }
 
 // DefaultChecks returns the suite with each analyzer scoped to the
@@ -75,6 +84,9 @@ func DefaultChecks() []Check {
 		{Walltime, contractScope},
 		{CtxFlow, contractScope},
 		{TokenPair, inModule},
+		{Goroleak, contractScope},
+		{Chansend, contractScope},
+		{Dettaint, func(p string) bool { return resultProducing[p] || p == "repro/internal/spec" }},
 	}
 }
 

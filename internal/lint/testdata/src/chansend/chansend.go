@@ -1,0 +1,135 @@
+// Package chansend is the corpus for the chansend analyzer: a blocking
+// send in a producer loop on a locally made unbuffered channel must sit
+// in a select with a done/ctx arm. The pool cases pin the workpool
+// first-error deadlock in both its broken (pre-fix) and fixed shapes.
+package chansend
+
+import (
+	"context"
+	"sync"
+)
+
+// PoolDeadlock is the exact pre-fix workpool shape: workers return on
+// the first error, and the bare send then blocks forever — the
+// producer never learns the consumers are gone, and Wait never
+// returns.
+func PoolDeadlock(n, workers int, fn func(int) error) error {
+	next := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i // want "blocking send on unbuffered next in a loop"
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// PoolGuarded is the fixed shape: the send shares a select with the
+// done and ctx arms, so a dead consumer or a cancelled caller unblocks
+// the producer.
+func PoolGuarded(ctx context.Context, n, workers int, fn func(int) error) error {
+	next := make(chan int)
+	done := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					once.Do(func() { firstErr = err; close(done) })
+					return
+				}
+			}
+		}()
+	}
+produce:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break produce
+		case <-ctx.Done():
+			break produce
+		}
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// SingleArmSelect: a one-clause select with no default blocks exactly
+// like a bare send and earns no exemption.
+func SingleArmSelect(n int) {
+	next := make(chan int)
+	go func() {
+		for range next {
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i: // want "blocking send on unbuffered next in a loop"
+		}
+	}
+	close(next)
+}
+
+// DefaultSelect: a default arm makes the send non-blocking; dropping
+// work is the caller's policy decision, not a deadlock.
+func DefaultSelect(n int) {
+	next := make(chan int)
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		default:
+		}
+	}
+}
+
+// Buffered: capacity is the join slack the producer relies on; a
+// buffered channel is out of scope.
+func Buffered(n int) chan int {
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	return next
+}
+
+// NotInLoop: a single send is the send-join idiom, not a producer loop.
+func NotInLoop(run func() error) func() error {
+	done := make(chan error, 1)
+	go func() {
+		done <- run()
+	}()
+	return func() error { return <-done }
+}
+
+// ParamChannel: the caller made the channel and owns its capacity and
+// consumers; resolving blame across the call boundary is out of scope.
+func ParamChannel(next chan int, n int) {
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+}

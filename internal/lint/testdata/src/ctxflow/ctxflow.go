@@ -83,3 +83,21 @@ func AcceptLoop(ctx context.Context, ln net.Listener) error {
 func AcceptLoopDetached(ln net.Listener) error {
 	return AcceptLoop(context.TODO(), ln) // want "context.TODO"
 }
+
+// ServeCtx is the cancellation-aware implementation; Serve is its
+// sanctioned legacy wrapper — no ctx parameter, and the minted root is
+// handed straight to the declaration's own Ctx variant. The root is the
+// API seam itself, so nothing detaches. Allowed.
+func ServeCtx(ctx context.Context, ln net.Listener) error {
+	return AcceptLoop(ctx, ln)
+}
+
+func Serve(ln net.Listener) error {
+	return ServeCtx(context.Background(), ln)
+}
+
+// ServeDetour mints a root for a Ctx variant that is not its own —
+// not the wrapper shape, still flagged.
+func ServeDetour(ln net.Listener) error {
+	return AcceptLoop(context.Background(), ln) // want "context.Background"
+}

@@ -52,3 +52,26 @@ func Bare() int64 {
 	/* want "needs an analyzer name" */ //sopslint:ignore
 	return time.Now().UnixNano()        // want "wall-clock read time.Now"
 }
+
+// CommaList: a comma-separated directive suppresses every named
+// analyzer — walltime is in the list, so the clock read is silenced.
+func CommaList() int64 {
+	//sopslint:ignore mapiter,walltime corpus: comma list naming walltime
+	return time.Now().UnixNano()
+}
+
+// CommaUnknown: each name in the list is validated independently — the
+// typo is its own diagnostic, but the known name still suppresses, so
+// one bad entry neither voids nor hides the rest.
+func CommaUnknown() int64 {
+	/* want "unknown analyzer \"nosuchcheck\"" */ //sopslint:ignore walltime,nosuchcheck corpus: one typo in the list
+	return time.Now().UnixNano()
+}
+
+// CommaNoReason: a list consumes everything up to the first space, so a
+// directive ending at the list still has no reason — one diagnostic per
+// listed name, nothing suppressed.
+func CommaNoReason() int64 {
+	/* want "ignore mapiter needs a reason" "ignore walltime needs a reason" */ //sopslint:ignore mapiter,walltime
+	return time.Now().UnixNano()                                                // want "wall-clock read time.Now"
+}

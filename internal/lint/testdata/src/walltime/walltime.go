@@ -1,29 +1,84 @@
-// Package walltime is the corpus for the walltime analyzer: reading the
-// wall clock is flagged; pure time arithmetic on values passed in is
-// allowed. The deadline cases pin the distributed-sweep timeout idiom:
-// I/O deadlines must come from the context, never from time.Now
-// arithmetic.
+// Package walltime is the corpus for the flow-aware walltime analyzer:
+// reading the clock is legal while the value stays time-typed
+// instrumentation; what gets flagged is the escape — a conversion to a
+// raw number, a non-time accessor, a comparison steering control flow,
+// or handing the value to another package's API. The deadline cases pin
+// the distributed-sweep timeout idiom: I/O deadlines must come from the
+// context, never from time.Now arithmetic.
 package walltime
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"time"
 )
 
-// Stamp reads the wall clock directly.
+// Stamp reads the clock and immediately reads it out as an integer:
+// the UnixNano accessor is the escape.
 func Stamp() int64 {
 	return time.Now().UnixNano() // want "wall-clock read time.Now"
 }
 
-// Elapsed reads the wall clock through Since.
+// Elapsed keeps the clock read inside time.Duration: pure
+// instrumentation, allowed under the flow-aware contract.
 func Elapsed(start time.Time) time.Duration {
-	return time.Since(start) // want "wall-clock read time.Since"
+	return time.Since(start)
 }
 
-// Remaining reads the wall clock through Until.
+// Remaining likewise: a Duration result is transparently time-typed.
 func Remaining(deadline time.Time) time.Duration {
-	return time.Until(deadline) // want "wall-clock read time.Until"
+	return time.Until(deadline)
+}
+
+// Converted strips the time type from a clock-derived duration — the
+// raw float can steer results.
+func Converted(start time.Time) float64 {
+	d := time.Since(start)
+	return float64(d) // want "wall-clock read time.Since"
+}
+
+// Compared branches on a clock read: the boolean steers control flow.
+func Compared(budget time.Duration, work func()) {
+	start := time.Now()
+	for {
+		work()
+		if time.Since(start) > budget { // want "wall-clock read time.Since"
+			return
+		}
+	}
+}
+
+// Printed hands a clock-derived value to another package's API.
+func Printed() {
+	start := time.Now()
+	fmt.Println(time.Since(start)) // want "wall-clock read time.Since"
+}
+
+// viaHelper lets its parameter escape through a conversion. Analyzed
+// alone its parameter is clean (no diagnostic here); the summary
+// records the param→escape flow and Laundered is flagged at the call
+// site, one level deep.
+func viaHelper(d time.Duration) int64 {
+	return int64(d)
+}
+
+func Laundered(start time.Time) int64 {
+	return viaHelper(time.Since(start)) // want "wall-clock read time.Since"
+}
+
+// Column stores a clock-derived duration into a Duration-typed struct
+// field — the instrumentation-column idiom (PerEval). Allowed.
+type stats struct {
+	PerEval time.Duration
+}
+
+func Column(reps int, work func()) stats {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		work()
+	}
+	return stats{PerEval: time.Since(start) / time.Duration(reps)}
 }
 
 // Shift is pure arithmetic on a caller-supplied instant: allowed.

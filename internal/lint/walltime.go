@@ -1,45 +1,56 @@
 package lint
 
 import (
-	"go/ast"
-
 	"repro/internal/lint/analysis"
 )
 
-// Walltime forbids reading the wall clock in packages reachable from
-// Spec.Fingerprint() or checkpoint encoding.
+// Walltime flags wall-clock reads whose values escape time-typed
+// instrumentation in packages reachable from Spec.Fingerprint() or
+// checkpoint encoding.
 //
 // Contract (DESIGN.md): a run's identity is fully determined by its
 // spec, and a checkpoint restored on any machine at any time is
-// byte-identical to the original computation. A time.Now() anywhere in
-// that closure is a hidden input. The suite scopes this check to the
-// root package and internal/... (the conservative superset of the
-// fingerprint/checkpoint import closure); CLIs, examples and test files
-// are exempt, and sanctioned instrumentation (per-eval timing columns,
-// progress reporting) carries a //sopslint:ignore walltime directive
-// with its justification.
+// byte-identical to the original computation. A time.Now() feeding that
+// closure is a hidden input. The analyzer is flow-aware: reading the
+// clock is legal while the value remains transparently time-typed
+// instrumentation — time.Time/time.Duration locals, slices of them,
+// Duration-typed result columns (the PerEval idiom) — because such
+// values are reporting-only by construction. What gets flagged is the
+// escape, where a clock read could start steering results:
+//
+//   - conversion to a non-time type (int64(d), float64(d));
+//   - a non-time accessor on a time value (UnixNano, Seconds, String);
+//   - a comparison, whose boolean steers control flow;
+//   - an argument to another package's API (conn.SetReadDeadline,
+//     fmt.Fprintf) — including one level deep through a package-local
+//     helper whose summary says the parameter escapes.
+//
+// The suite scopes this check to the root package and internal/... (the
+// conservative superset of the fingerprint/checkpoint import closure);
+// CLIs, examples and test files are exempt.
 var Walltime = &analysis.Analyzer{
 	Name: "walltime",
-	Doc:  "forbid time.Now/time.Since/time.Until in fingerprint- and checkpoint-reachable packages",
+	Doc:  "flag time.Now/time.Since/time.Until values escaping time-typed instrumentation in fingerprint- and checkpoint-reachable packages",
 	Run:  runWalltime,
 }
 
 var walltimeCalls = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runWalltime(pass *analysis.Pass) error {
+	eng := newTaintEngine(pass)
 	for _, f := range pass.SourceFiles() {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for _, u := range analysis.Units(f) {
+			for _, ev := range eng.analyze(u) {
+				if ev.kind != evClockEscape {
+					continue
+				}
+				src := ev.src
+				if src == "" {
+					src = "time.Now"
+				}
+				pass.Reportf(ev.pos, "wall-clock read %s %s: results must be a pure function of the spec; keep timings in time.Duration instrumentation columns, take times in the CLI layer, or annotate //sopslint:ignore walltime <reason>", src, ev.where)
 			}
-			fn := calleeFunc(pass, call)
-			if fn == nil || !walltimeCalls[fn.Name()] || !pkgPathIs(fn.Pkg(), "time") {
-				return true
-			}
-			pass.Reportf(call.Pos(), "wall-clock read time.%s in fingerprint/checkpoint-reachable code: results must be a pure function of the spec; take times in the CLI layer, or annotate //sopslint:ignore walltime <reason> for reporting-only instrumentation", fn.Name())
-			return true
-		})
+		}
 	}
 	return nil
 }

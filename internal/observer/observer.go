@@ -77,7 +77,6 @@ func (c Config) Streamable() bool {
 // datasets, with no aligned intermediate copy of the ensemble. The medoid
 // reference needs all samples of a frame at once and takes the batch path.
 func FromEnsemble(ens *sim.Ensemble, cfg Config) (*Observers, error) {
-	//sopslint:ignore ctxflow documented legacy wrapper: FromEnsemble is the uncancellable entry point over FromEnsembleCtx
 	return FromEnsembleCtx(context.Background(), ens, cfg)
 }
 

@@ -90,7 +90,6 @@ func (e *Ensemble) FramesAt(t int) [][]vec.Vec2 {
 // Collector; pipelines that only need each frame once should stream
 // instead and keep peak memory independent of M×Steps.
 func RunEnsemble(ec EnsembleConfig) (*Ensemble, error) {
-	//sopslint:ignore ctxflow documented legacy wrapper: RunEnsemble is the uncancellable entry point over RunEnsembleCtx
 	return RunEnsembleCtx(context.Background(), ec)
 }
 

@@ -98,7 +98,6 @@ func (ec EnsembleConfig) Normalized() (EnsembleConfig, error) {
 // across samples depends on scheduling. Full-trajectory retention is an
 // opt-in consumer: see Collector.
 func StreamEnsemble(ec EnsembleConfig, visit FrameVisitor) (*StreamResult, error) {
-	//sopslint:ignore ctxflow documented legacy wrapper: StreamEnsemble is the uncancellable entry point over StreamEnsembleCtx
 	return StreamEnsembleCtx(context.Background(), ec, visit)
 }
 
@@ -120,7 +119,6 @@ func StreamEnsembleCtx(ctx context.Context, ec EnsembleConfig, visit FrameVisito
 // empty range is a no-op. The staged measurement pipeline uses this to run
 // the alignment-reference sample to completion before fanning out the rest.
 func StreamSamples(ec EnsembleConfig, lo, hi int, visit FrameVisitor) (*StreamResult, error) {
-	//sopslint:ignore ctxflow documented legacy wrapper: StreamSamples is the uncancellable entry point over StreamSamplesCtx
 	return StreamSamplesCtx(context.Background(), ec, lo, hi, visit)
 }
 

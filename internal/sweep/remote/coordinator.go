@@ -248,10 +248,19 @@ func (c *Coordinator) Sweep(ctx context.Context, specs []experiment.SweepSpec) (
 				_ = wait()
 			}()
 		}
+		//sopslint:ignore goroleak watcher exits once dead.Wait returns; workers are joined by Sweep's handler group, and failIfUnfinished is a no-op after the run completes
 		go func() {
 			// Every worker exiting with runs still outstanding means no
-			// one is left to requeue to: fail instead of hanging.
+			// one is left to requeue to: fail instead of hanging. When
+			// cancellation is what killed the workers, the context's
+			// error is the cause and comes back verbatim — this watcher
+			// races the main select's st.fail(ctx.Err()) and must not
+			// mask it.
 			dead.Wait()
+			if err := ctx.Err(); err != nil {
+				st.failIfUnfinished(err)
+				return
+			}
 			st.failIfUnfinished(errors.New("remote: all workers exited with runs outstanding"))
 		}()
 	}

@@ -103,7 +103,6 @@ func Run(n, workers int, fn func(i int) error) error {
 // without locking. Items are handed out in order but complete in any
 // order; the single-worker path runs inline with no goroutines.
 func RunShared(n, workers int, tok *Tokens, fn func(worker, i int) error) error {
-	//sopslint:ignore ctxflow documented legacy wrapper: RunShared is the uncancellable entry point over RunSharedCtx
 	return RunSharedCtx(context.Background(), n, workers, tok, fn)
 }
 
