@@ -1,7 +1,7 @@
-// Command sopslint is the multichecker for this repository's eight
+// Command sopslint is the multichecker for this repository's eleven
 // contract analyzers (mapiter, rngsource, walltime, ctxflow, tokenpair,
-// goroleak, chansend, dettaint — see internal/lint and DESIGN.md
-// "Mechanized contracts").
+// goroleak, chansend, dettaint, speccoverage, errverbatim, allocfree —
+// see internal/lint and DESIGN.md "Mechanized contracts").
 //
 // It runs two ways:
 //
@@ -12,7 +12,12 @@
 // The vettool mode speaks cmd/go's unitchecker protocol: -V=full prints
 // a content-addressed version for the build cache, -flags describes the
 // (empty) flag set, and a trailing *.cfg argument names the JSON
-// compilation-unit config `go vet` hands the tool per package.
+// compilation-unit config `go vet` hands the tool per package. Facts
+// flow between units as .vetx files: each unit decodes the fact sets of
+// its dependencies (a truncated or corrupt file is a hard error, not a
+// silent skip), publishes its own exports, and writes the merged set to
+// the unit's VetxOutput, so cross-package analysis under `go vet`
+// matches the in-process meta-test exactly.
 package main
 
 import (
@@ -129,8 +134,14 @@ func standalone(patterns []string, asJSON bool) int {
 }
 
 // unitcheck analyzes one compilation unit described by a vet.cfg file.
+//
+// Units outside this module (the standard library, vendored deps) are
+// not typechecked at all — they get a header-only facts file so
+// dependents can still open their .vetx. Module units are always
+// parsed and typechecked, even when vet asks for facts only
+// (VetxOnly), because their exports feed every dependent unit.
 func unitcheck(cfgPath string) int {
-	pkg, err := load.Unit(cfgPath)
+	res, err := load.Unit(cfgPath, analyzable)
 	if err != nil {
 		if errors.Is(err, load.ErrTypecheckTolerated) {
 			return 0
@@ -138,19 +149,44 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "sopslint:", err)
 		return 1
 	}
-	if pkg == nil {
-		return 0 // facts-only unit (VetxOnly): nothing to report
+	if res.Pkg == nil {
+		return 0 // out-of-scope unit: header-only vetx already written
 	}
-	diags, err := lint.Run([]*analysis.Package{pkg}, lint.DefaultChecks())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sopslint:", err)
-		return 1
+	exit := 0
+	var diags []analysis.Diagnostic
+	if res.VetxOnly {
+		lint.ExportFacts(res.Pkg)
+	} else {
+		diags, err = lint.Run([]*analysis.Package{res.Pkg}, lint.DefaultChecks())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sopslint:", err)
+			return 1
+		}
+	}
+	// Write the facts before reporting: vet caches and reuses the
+	// .vetx for dependent units whether or not this one had findings.
+	if res.VetxOutput != "" {
+		if err := load.WriteVetx(res.VetxOutput, res.Pkg.Facts); err != nil {
+			fmt.Fprintln(os.Stderr, "sopslint:", err)
+			return 1
+		}
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
-		return 2
+		exit = 2
 	}
-	return 0
+	return exit
+}
+
+// analyzable reports whether the import path (possibly carrying vet's
+// test-variant suffix) belongs to this module — the scope whose source
+// sopslint parses and whose facts it computes.
+func analyzable(importPath string) bool {
+	p := importPath
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	return p == "repro" || strings.HasPrefix(p, "repro/")
 }

@@ -45,6 +45,29 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Facts is the cross-package fact store shared by the run: facts of
+	// this package's dependencies on entry, plus this package's own
+	// exports once its fact pass has run. Nil disables cross-package
+	// facts — analyzers then fall back to their package-local summaries.
+	Facts *FactSet
+
+	memo map[string]any
+}
+
+// Memo returns the cached value under key, building it on first use.
+// Analyzers sharing expensive per-package state (the taint engine, call
+// summaries) key it here so the several passes over one package compute
+// it once.
+func (p *Package) Memo(key string, build func() any) any {
+	if p.memo == nil {
+		p.memo = map[string]any{}
+	}
+	v, ok := p.memo[key]
+	if !ok {
+		v = build()
+		p.memo[key] = v
+	}
+	return v
 }
 
 // A Diagnostic is one finding, addressed by resolved source position so
@@ -78,6 +101,25 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 
 // ObjectOf returns the object denoted by id, or nil.
 func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// ImportObjectFact copies the stored fact of ptr's type about obj into
+// *ptr. It reports false when the run carries no fact store or no such
+// fact was exported — callers then fall back to local reasoning.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.Pkg.Facts == nil || obj == nil {
+		return false
+	}
+	return p.Pkg.Facts.ImportObjectFact(obj, ptr)
+}
+
+// ExportObjectFact publishes fact about obj for downstream packages.
+// A no-op without a fact store.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Pkg.Facts == nil || obj == nil {
+		return
+	}
+	p.Pkg.Facts.ExportObjectFact(obj, fact)
+}
 
 // SourceFiles returns the package's non-test files: every sopslint
 // contract applies to production code only, so analyzers iterate this

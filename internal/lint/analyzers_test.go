@@ -18,6 +18,39 @@ func TestChansendCorpus(t *testing.T) { runCorpus(t, soloCheck(Chansend), "chans
 
 func TestDettaintCorpus(t *testing.T) { runCorpus(t, soloCheck(Dettaint), "dettaint") }
 
+func TestSpecCoverageCorpus(t *testing.T) {
+	runCorpus(t, soloCheck(SpecCoverage), "speccoverage", "speccoverage/dep")
+}
+
+func TestErrVerbatimCorpus(t *testing.T) {
+	runCorpus(t, soloCheck(ErrVerbatim), "errverbatim", "errverbatim/wrapx")
+}
+
+func TestAllocFreeCorpus(t *testing.T) {
+	runCorpus(t, soloCheck(AllocFree), "allocfree", "allocfree/helper")
+}
+
+// TestFactFlowCorpus is the cross-package fact proof: the taint facts
+// exported while checking factflow/a are what let walltime and dettaint
+// report inside factflow/b (see TestFactFlowRequiresFacts for the
+// negative control).
+func TestFactFlowCorpus(t *testing.T) {
+	runCorpus(t, []Check{{Analyzer: Walltime}, {Analyzer: Dettaint}}, "factflow/a", "factflow/b")
+}
+
+// TestGoroleakFactsCorpus pins BoundedFact flow: a spawn of another
+// package's exported loop is joined only if that loop's own body is
+// bounded.
+func TestGoroleakFactsCorpus(t *testing.T) {
+	runCorpus(t, soloCheck(Goroleak), "goroleakx", "goroleakx/watcher")
+}
+
+// TestCtxFlowFactsCorpus pins RootMintFact flow: dropping a held
+// context at a cross-package boundary that mints its own root.
+func TestCtxFlowFactsCorpus(t *testing.T) {
+	runCorpus(t, soloCheck(CtxFlow), "ctxflowx", "ctxflowx/rootsrc")
+}
+
 // TestSuppressionCorpus exercises the //sopslint:ignore directive: it
 // runs the walltime analyzer over a corpus where every clock read is
 // paired with a directive — valid (suppressing), misnamed (not
@@ -72,6 +105,15 @@ func TestDefaultChecksScope(t *testing.T) {
 		{"dettaint", "repro/internal/spec", true},
 		{"dettaint", "repro/internal/vec", false},
 		{"dettaint", "repro/cmd/sops", false},
+		// speccoverage, errverbatim and allocfree bind library code:
+		// root + internal/..., not CLIs and not the lint suite.
+		{"speccoverage", "repro/internal/spec", true},
+		{"speccoverage", "repro/cmd/sops", false},
+		{"errverbatim", "repro/internal/sweep/remote", true},
+		{"errverbatim", "repro/internal/lint", false},
+		{"allocfree", "repro/internal/infotheory", true},
+		{"allocfree", "repro/cmd/sops", false},
+		{"allocfree", "repro/internal/lint/analysis", false},
 	}
 	for _, c := range cases {
 		chk, ok := byName[c.analyzer]

@@ -23,7 +23,10 @@ import (
 //     exemption is structural rather than an ignore directive.
 //  2. An exported function that accepts a context but then calls the
 //     context-free variant of an API that has one (Acquire where
-//     AcquireCtx exists), quietly dropping cancellation mid-chain.
+//     AcquireCtx exists), quietly dropping cancellation mid-chain —
+//     or calls a function in another package that a RootMintFact marks
+//     as minting its own root, which detaches the callee tree just the
+//     same even though no Ctx sibling exists to point at.
 var CtxFlow = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc:  "flag context.Background()/TODO() in library code and ctx-accepting functions that call non-ctx API variants",
@@ -126,8 +129,9 @@ func isContextType(t types.Type) bool {
 	return obj.Name() == "Context" && pkgPathIs(obj.Pkg(), "context")
 }
 
-// checkCtxVariants flags calls to F inside fd where a sibling FCtx
-// exists: the context in hand should have been threaded through.
+// checkCtxVariants flags calls inside fd that drop the context in hand:
+// calls to F where a sibling FCtx exists, and cross-package calls to
+// functions a RootMintFact marks as minting their own root.
 func checkCtxVariants(pass *analysis.Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -142,12 +146,46 @@ func checkCtxVariants(pass *analysis.Pass, fd *ast.FuncDecl) {
 		if len(name) >= 3 && name[len(name)-3:] == "Ctx" {
 			return true
 		}
-		if !hasCtxSibling(fn) {
+		if hasCtxSibling(fn) {
+			pass.Reportf(call.Pos(), "%s accepts a context but calls %s, which has a context-aware variant %sCtx; pass the context through so cancellation propagates", fd.Name.Name, name, name)
 			return true
 		}
-		pass.Reportf(call.Pos(), "%s accepts a context but calls %s, which has a context-aware variant %sCtx; pass the context through so cancellation propagates", fd.Name.Name, name, name)
+		var rm RootMintFact
+		if fn.Pkg() != pass.Pkg.Types && pass.ImportObjectFact(fn, &rm) {
+			pass.Reportf(call.Pos(), "%s accepts a context but calls %s, which mints its own context root — the context in hand is dropped and the callee tree detaches from cancellation; use or add a ctx-accepting variant", fd.Name.Name, calleeLabel(fn))
+		}
 		return true
 	})
+}
+
+// exportRootMintFacts publishes a RootMintFact for every exported
+// declaration without a context parameter that mints a fresh root
+// outside the sanctioned Run→RunCtx wrapper shape.
+func exportRootMintFacts(pass *analysis.Pass) {
+	for _, f := range pass.SourceFiles() {
+		sanctioned := wrapperRoots(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || hasCtxParam(pass, fd) {
+				continue
+			}
+			mints := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && !sanctioned[call] {
+					if fn := calleeFunc(pass, call); fn != nil && pkgPathIs(fn.Pkg(), "context") &&
+						(fn.Name() == "Background" || fn.Name() == "TODO") {
+						mints = true
+					}
+				}
+				return !mints
+			})
+			if mints {
+				if fn, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+					pass.ExportObjectFact(fn, &RootMintFact{})
+				}
+			}
+		}
+	}
 }
 
 // hasCtxSibling reports whether fn has a sibling named fn.Name()+"Ctx":

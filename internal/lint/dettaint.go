@@ -32,7 +32,7 @@ var Dettaint = &analysis.Analyzer{
 }
 
 func runDettaint(pass *analysis.Pass) error {
-	eng := newTaintEngine(pass)
+	eng := taintEngineFor(pass)
 	for _, f := range pass.SourceFiles() {
 		for _, u := range analysis.Units(f) {
 			for _, ev := range eng.analyze(u) {

@@ -1,0 +1,141 @@
+package lint
+
+// This file defines the suite's cross-package facts — the durable
+// observations one package's analysis exports for its dependents — and
+// the fact pass that computes them. Facts make the flow-sensitive
+// analyzers genuinely interprocedural across package boundaries: the
+// fingerprint flow spec → experiment → sweep, the goroutine lifecycles
+// coordinated across internal/sweep/remote, and the cancellation-error
+// identity contract all span packages, and one-package-local summaries
+// stop exactly where those contracts start to matter.
+//
+// In-process (meta-test, standalone) the packages of a run share one
+// analysis.FactSet and are visited in dependency order; under
+// `go vet -vettool` the same facts ride the .vetx files of the
+// unitchecker protocol (see internal/lint/load and cmd/sopslint). Both
+// paths run this same fact pass, so they see identical results.
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Fact is the suite's fact interface: a gob-encodable, object-keyed
+// observation exported by one package's analysis and imported by its
+// dependents (an alias of the analysis-layer interface, re-exported as
+// the suite's vocabulary).
+type Fact = analysis.Fact
+
+// TaintFact is a function's exported taint summary: the same
+// (ret, escapes, sinks) triple the in-package summaries carry, so the
+// taint engine applies cross-package calls exactly like local ones.
+// A present fact with zero masks is information too — "this function
+// introduces and propagates nothing" — and silences the conservative
+// at-the-boundary clock-escape report.
+type TaintFact struct {
+	// Ret holds taint kinds a call introduces plus the param bits whose
+	// taint flows through to a result.
+	Ret uint32
+	// Escapes holds param bits that reach a clock-escape point inside.
+	Escapes uint32
+	// Sinks holds param bits that reach a hash write inside.
+	Sinks uint32
+	// Src names the intrinsic source when Ret carries kind bits.
+	Src string
+}
+
+func (*TaintFact) AFact() {}
+
+// BoundedFact marks a function whose body's lifetime is bounded by a
+// join signal it already owns — it blocks on ctx.Done(), a done-shaped
+// channel, or a WaitGroup Wait — so `go pkg.F(x)` is joined even when
+// no context or channel crosses the call.
+type BoundedFact struct{}
+
+func (*BoundedFact) AFact() {}
+
+// RootMintFact marks an exported function without a context parameter
+// that mints a fresh root (context.Background/TODO) outside the
+// sanctioned Run→RunCtx wrapper shape: calling it while holding a ctx
+// silently detaches the callee tree from cancellation.
+type RootMintFact struct{}
+
+func (*RootMintFact) AFact() {}
+
+// ErrWrapFact records which of a function's error parameters it wraps
+// or rewords into a new error (fmt.Errorf and friends) before
+// returning. Passing a context cancellation error to such a parameter
+// destroys its identity, which the errverbatim contract forbids.
+type ErrWrapFact struct {
+	// Params is a bitmask over the function's parameters (bit i set:
+	// parameter i is wrapped into a returned error).
+	Params uint32
+}
+
+func (*ErrWrapFact) AFact() {}
+
+// AllocFact records whether a function was observed to allocate on its
+// own path (composite literals, unguarded make/append, closures,
+// boxing) — hot-path callers flag calls to allocating functions.
+type AllocFact struct {
+	Allocates bool
+}
+
+func (*AllocFact) AFact() {}
+
+// NoHashFact lists the fields of a struct type annotated
+// //sopslint:nohash — runtime-only knobs deliberately excluded from the
+// fingerprint — so speccoverage honors annotations on structs it
+// reaches across package boundaries.
+type NoHashFact struct {
+	Fields []string
+}
+
+func (*NoHashFact) AFact() {}
+
+func init() {
+	analysis.RegisterFact(&TaintFact{})
+	analysis.RegisterFact(&BoundedFact{})
+	analysis.RegisterFact(&RootMintFact{})
+	analysis.RegisterFact(&ErrWrapFact{})
+	analysis.RegisterFact(&AllocFact{})
+	analysis.RegisterFact(&NoHashFact{})
+}
+
+// factPass is the pseudo-analyzer the fact pass runs under (facts have
+// no diagnostics of their own; the name only labels the Pass).
+var factPass = &analysis.Analyzer{
+	Name: "facts",
+	Doc:  "export cross-package facts (taint summaries, bounded lifetimes, wrap/alloc/nohash annotations)",
+}
+
+// ExportFacts runs the fact pass over one package: every fact producer
+// publishes into pkg.Facts, regardless of which analyzers are scoped to
+// run on the package — dependents outside a contract's scope still
+// supply facts to packages inside it. Idempotent per package; a no-op
+// without a fact store.
+func ExportFacts(pkg *analysis.Package) {
+	if pkg.Facts == nil {
+		return
+	}
+	pkg.Memo("lint.factsExported", func() any {
+		pass := &analysis.Pass{Analyzer: factPass, Pkg: pkg}
+		exportTaintFacts(pass)
+		exportBoundedFacts(pass)
+		exportRootMintFacts(pass)
+		exportErrWrapFacts(pass)
+		exportAllocFacts(pass)
+		exportNoHashFacts(pass)
+		return true
+	})
+}
+
+// localDeclsFor memoizes the package's function-object → declaration
+// map, shared by the fact pass and the analyzers.
+func localDeclsFor(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	return pass.Pkg.Memo("lint.localDecls", func() any {
+		return analysis.LocalDecls(pass.Pkg)
+	}).(map[*types.Func]*ast.FuncDecl)
+}

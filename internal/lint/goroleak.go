@@ -26,9 +26,13 @@ import (
 //   - send-join: the body's exit is a send on a local channel the
 //     enclosing declaration (or a closure it returns) receives from;
 //   - bounded lifetime: the body receives from ctx.Done() or a
-//     done-shaped channel (chan struct{}), so cancellation reaps it;
+//     done-shaped channel (chan struct{}), or blocks on a WaitGroup
+//     Wait (the watcher-over-a-worker-group shape), so a signal the
+//     body already owns reaps it;
 //   - a named callee handed the caller's context or a channel — the
-//     callee owns its termination through them.
+//     callee owns its termination through them — or whose own body is
+//     bounded in the sense above: locally via its declaration, across
+//     packages via an exported BoundedFact.
 //
 // An intentionally detached goroutine carries a //sopslint:ignore
 // goroleak directive arguing why nothing it touches outlives it.
@@ -58,12 +62,23 @@ func runGoroleak(pass *analysis.Pass) error {
 func checkGoStmt(pass *analysis.Pass, cfgs *analysis.CFGs, u analysis.Unit, gs *ast.GoStmt) {
 	lit, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
 	if !isLit {
-		// A named callee: the caller can only join it through what it
-		// hands over — the context (cancellation reaps it) or a channel
-		// (the callee signals or is signalled through it).
+		// A named callee: the caller can join it through what it hands
+		// over — the context (cancellation reaps it) or a channel (the
+		// callee signals or is signalled through it) — or the callee's
+		// own body is bounded: checked on its declaration locally, or
+		// through an exported BoundedFact across packages.
 		for _, arg := range gs.Call.Args {
 			t := pass.TypeOf(arg)
 			if isContextType(t) || isChanType(t) {
+				return
+			}
+		}
+		if fn := calleeFunc(pass, gs.Call); fn != nil {
+			if fd := localDeclsFor(pass)[fn]; fd != nil && fd.Body != nil && bodyBounded(pass, fd.Body) {
+				return
+			}
+			var bf BoundedFact
+			if pass.ImportObjectFact(fn, &bf) {
 				return
 			}
 		}
@@ -237,16 +252,29 @@ func within(root, n ast.Node) bool {
 	return n.Pos() >= root.Pos() && n.End() <= root.End()
 }
 
-// boundedBody reports whether the body's lifetime is bounded by
-// cancellation: it receives from ctx.Done() or from a done-shaped
-// channel (chan struct{}).
+// boundedBody reports whether the literal's lifetime is bounded (see
+// bodyBounded).
 func boundedBody(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	return bodyBounded(pass, lit.Body)
+}
+
+// bodyBounded reports whether a function body's lifetime is bounded by
+// a join signal it already owns: it receives from ctx.Done() or from a
+// done-shaped channel (chan struct{}), or it blocks on a WaitGroup's
+// Wait — the watcher shape, where the body outlives exactly the group
+// it observes and the group's own goroutines are separately joined.
+func bodyBounded(pass *analysis.Pass, body *ast.BlockStmt) bool {
 	bounded := false
-	walkShallow(lit.Body, func(n ast.Node) {
+	walkShallow(body, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isContextType(pass.TypeOf(sel.X)) {
-				bounded = true
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" && isContextType(pass.TypeOf(sel.X)) {
+					bounded = true
+				}
+				if sel.Sel.Name == "Wait" && isWaitGroupType(pass.TypeOf(sel.X)) {
+					bounded = true
+				}
 			}
 		case *ast.UnaryExpr:
 			if n.Op.String() == "<-" && isDoneChanType(pass.TypeOf(n.X)) {
@@ -259,6 +287,20 @@ func boundedBody(pass *analysis.Pass, lit *ast.FuncLit) bool {
 		}
 	})
 	return bounded
+}
+
+// exportBoundedFacts publishes a BoundedFact for every exported
+// declaration whose body is bounded, so `go pkg.F(x)` in another
+// package is recognized as joined.
+func exportBoundedFacts(pass *analysis.Pass) {
+	for fn, fd := range localDeclsFor(pass) {
+		if !fn.Exported() || fd.Body == nil {
+			continue
+		}
+		if bodyBounded(pass, fd.Body) {
+			pass.ExportObjectFact(fn, &BoundedFact{})
+		}
+	}
 }
 
 // declaredWithin reports whether the WaitGroup named by recv (rendered

@@ -1,12 +1,14 @@
-// Package lint is sopslint: eight custom static analyzers that
+// Package lint is sopslint: eleven custom static analyzers that
 // mechanize this repository's written contracts — bit-identical
 // determinism, rngx-derived randomness, wall-clock-free fingerprints,
 // context-aware cancellation, balanced worker-token accounting, joined
-// goroutine lifecycles, cancellable producer sends, and
-// nondeterminism-free result/fingerprint flows (DESIGN.md, "Mechanized
-// contracts"). The suite runs as `go vet -vettool=$(sopslint)` in CI,
-// standalone via cmd/sopslint, and in-process through the meta-test
-// that keeps this repository at zero diagnostics.
+// goroutine lifecycles, cancellable producer sends,
+// nondeterminism-free result/fingerprint flows, fingerprint coverage
+// of every spec knob, verbatim cancellation errors, and
+// allocation-free hot paths (DESIGN.md, "Mechanized contracts"). The
+// suite runs as `go vet -vettool=$(sopslint)` in CI, standalone via
+// cmd/sopslint, and in-process through the meta-test that keeps this
+// repository at zero diagnostics.
 //
 // The syntax-shape analyzers work on the AST directly; walltime,
 // dettaint, goroleak and chansend sit on the flow-sensitive layer in
@@ -14,6 +16,16 @@
 // solver, and one-level call summaries — so sanctioned idioms
 // (collect-sort-iterate, deferred Done on all paths, Duration
 // instrumentation columns) pass without annotation.
+//
+// Analysis is modular across packages: before any analyzer runs on a
+// package, ExportFacts publishes that package's gob-serialized facts
+// (taint summaries, bounded goroutine launchers, context-root minting,
+// error-wrapping helpers, allocation summaries, nohash exclusions) to
+// its FactSet, and analyzers consult imported facts at cross-package
+// call and type boundaries. Under `go vet` the facts ride the .vetx
+// files of the unitchecker protocol; in-process, load.Packages returns
+// packages in dependency order sharing one fact set — the two paths
+// see identical diagnostics.
 //
 // A finding that is a sanctioned exception is silenced with a directive
 // on (or immediately above) the offending line:
@@ -70,9 +82,9 @@ func contractScope(path string) bool {
 	return path == "repro" || strings.HasPrefix(path, "repro/internal/")
 }
 
-// Analyzers returns the eight sopslint analyzers.
+// Analyzers returns the eleven sopslint analyzers.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Mapiter, RNGSource, Walltime, CtxFlow, TokenPair, Goroleak, Chansend, Dettaint}
+	return []*analysis.Analyzer{Mapiter, RNGSource, Walltime, CtxFlow, TokenPair, Goroleak, Chansend, Dettaint, SpecCoverage, ErrVerbatim, AllocFree}
 }
 
 // DefaultChecks returns the suite with each analyzer scoped to the
@@ -87,6 +99,9 @@ func DefaultChecks() []Check {
 		{Goroleak, contractScope},
 		{Chansend, contractScope},
 		{Dettaint, func(p string) bool { return resultProducing[p] || p == "repro/internal/spec" }},
+		{SpecCoverage, contractScope},
+		{ErrVerbatim, contractScope},
+		{AllocFree, contractScope},
 	}
 }
 
@@ -95,6 +110,10 @@ func DefaultChecks() []Check {
 func Run(pkgs []*analysis.Package, checks []Check) ([]analysis.Diagnostic, error) {
 	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
+		// Publish this package's facts before analyzing it, so checks
+		// on it — and, with pkgs in dependency order, on everything
+		// that imports it — see the exports.
+		ExportFacts(pkg)
 		var diags []analysis.Diagnostic
 		for _, c := range checks {
 			if c.AppliesTo != nil && !c.AppliesTo(basePath(pkg.Path)) {

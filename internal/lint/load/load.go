@@ -43,8 +43,10 @@ type listPkg struct {
 }
 
 // goList runs `go list -export -deps -json` for the patterns and returns
-// the decoded packages keyed by import path.
-func goList(dir string, patterns ...string) (map[string]*listPkg, error) {
+// the decoded packages in the order `go list -deps` emits them — a
+// depth-first post-order, so every package follows all of its
+// dependencies — plus an index by import path.
+func goList(dir string, patterns ...string) ([]*listPkg, map[string]*listPkg, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
 		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module",
@@ -55,8 +57,9 @@ func goList(dir string, patterns ...string) (map[string]*listPkg, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
+	var ordered []*listPkg
 	pkgs := map[string]*listPkg{}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -64,12 +67,13 @@ func goList(dir string, patterns ...string) (map[string]*listPkg, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %w", err)
+			return nil, nil, fmt.Errorf("go list: decoding output: %w", err)
 		}
 		q := p
+		ordered = append(ordered, &q)
 		pkgs[p.ImportPath] = &q
 	}
-	return pkgs, nil
+	return ordered, pkgs, nil
 }
 
 // exportLookup returns an importer lookup function serving export data
@@ -99,25 +103,26 @@ func newInfo() *types.Info {
 // the patterns (run in dir; "" means the current directory). Test files
 // are not part of the returned packages — `go list` GoFiles excludes
 // them — matching the suite's production-code-only scope.
+//
+// Packages are returned in dependency order (every package after all of
+// its dependencies) and share one analysis.FactSet, so a driver that
+// visits them in order sees each package's exported facts when analyzing
+// its dependents — the in-process equivalent of the unitchecker's .vetx
+// hand-off.
 func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
-	listed, err := goList(dir, patterns...)
+	ordered, byPath, err := goList(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
-
-	var paths []string
-	for path, p := range listed {
-		if !p.Standard && p.Module != nil {
-			paths = append(paths, path)
-		}
-	}
-	sort.Strings(paths)
+	imp := importer.ForCompiler(fset, "gc", exportLookup(byPath))
+	facts := analysis.NewFactSet()
 
 	var out []*analysis.Package
-	for _, path := range paths {
-		p := listed[path]
+	for _, p := range ordered {
+		if p.Standard || p.Module == nil {
+			continue
+		}
 		var files []*ast.File
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -128,12 +133,12 @@ func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
 		}
 		info := newInfo()
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(path, fset, files, info)
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("typechecking %s: %w", path, err)
+			return nil, fmt.Errorf("typechecking %s: %w", p.ImportPath, err)
 		}
 		out = append(out, &analysis.Package{
-			Path: path, Fset: fset, Files: files, Types: tpkg, Info: info,
+			Path: p.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info, Facts: facts,
 		})
 	}
 	return out, nil
@@ -193,7 +198,7 @@ func Corpus(root string, paths ...string) ([]*analysis.Package, error) {
 	if len(external) > 0 {
 		sort.Strings(external)
 		var err error
-		exported, err = goList("", external...)
+		_, exported, err = goList("", external...)
 		if err != nil {
 			return nil, err
 		}
@@ -233,8 +238,11 @@ func Corpus(root string, paths ...string) ([]*analysis.Package, error) {
 		}
 	}
 
+	// Return in dependency order, sharing one fact store — mirroring
+	// Packages, so corpus runs exercise the same fact hand-off the
+	// meta-test and the vettool see.
+	facts := analysis.NewFactSet()
 	var out []*analysis.Package
-	outByPath := map[string]*analysis.Package{}
 	for _, path := range order {
 		cp := byPath[path]
 		info := newInfo()
@@ -244,12 +252,7 @@ func Corpus(root string, paths ...string) ([]*analysis.Package, error) {
 			return nil, fmt.Errorf("typechecking corpus %s: %w", path, err)
 		}
 		checked[path] = tpkg
-		pkg := &analysis.Package{Path: path, Fset: fset, Files: cp.files, Types: tpkg, Info: info}
-		outByPath[path] = pkg
-	}
-	// Return in the caller's order, not dependency order.
-	for _, p := range paths {
-		out = append(out, outByPath[p])
+		out = append(out, &analysis.Package{Path: path, Fset: fset, Files: cp.files, Types: tpkg, Info: info, Facts: facts})
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/lint/analysis"
@@ -18,7 +19,8 @@ import (
 
 // unitConfig mirrors the JSON compilation-unit description `go vet`
 // writes for a -vettool (the x/tools unitchecker protocol): absolute
-// source paths plus an export-data file for every dependency.
+// source paths plus an export-data file for every dependency, and —
+// for facts — a .vetx input per dependency and one output to write.
 type unitConfig struct {
 	ID                        string
 	Compiler                  string
@@ -42,12 +44,36 @@ type unitConfig struct {
 // the compiler itself will report the error).
 var ErrTypecheckTolerated = errors.New("typecheck failed (tolerated by config)")
 
-// Unit loads the compilation unit named by a vet.cfg path into an
-// analysis.Package. It always writes the VetxOutput facts file when the
-// config names one — cmd/go caches it as the action's output — and the
-// suite exports no facts, so the file is an empty placeholder. A nil
-// package with nil error means a facts-only (VetxOnly) unit.
-func Unit(cfgPath string) (*analysis.Package, error) {
+// A UnitResult is one compilation unit loaded from a vet.cfg, plus the
+// obligations the unitchecker protocol attaches to it. The driver runs
+// the fact pass (and, unless VetxOnly, the analyzers) over Pkg, then
+// writes Pkg's fact store to VetxOutput via WriteVetx — cmd/go caches
+// that file as the unit's output and feeds it to dependent units.
+type UnitResult struct {
+	// Pkg is the typechecked unit with its dependencies' facts already
+	// decoded into Pkg.Facts. Nil for units outside the analysis scope
+	// (their placeholder .vetx has already been written).
+	Pkg *analysis.Package
+	// VetxOnly marks a dependency-only unit: compute and write facts,
+	// report nothing.
+	VetxOnly bool
+	// VetxOutput is the facts file to write after analysis ("" = none;
+	// already written for out-of-scope units).
+	VetxOutput string
+}
+
+// Unit loads the compilation unit named by a vet.cfg path. The analyze
+// predicate bounds the facts universe: units whose import path it
+// rejects (the standard library, when the driver scopes to the module)
+// are not typechecked at all — they get an empty facts file immediately,
+// keeping the vettool run within the same wall-clock class as a
+// facts-free one — while accepted units are typechecked even when
+// VetxOnly, because their facts feed dependents.
+//
+// Dependency facts arrive through cfg.PackageVetx; every named file must
+// decode cleanly (see analysis.FactSet.Decode) — a truncated or corrupt
+// .vetx is a load error, not an empty fact set.
+func Unit(cfgPath string, analyze func(importPath string) bool) (*UnitResult, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, err
@@ -56,13 +82,15 @@ func Unit(cfgPath string) (*analysis.Package, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("sopslint-no-facts\n"), 0o666); err != nil {
-			return nil, err
+	res := &UnitResult{VetxOnly: cfg.VetxOnly, VetxOutput: cfg.VetxOutput}
+	if analyze != nil && !analyze(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := WriteVetx(cfg.VetxOutput, analysis.NewFactSet()); err != nil {
+				return nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		return nil, nil
+		res.VetxOutput = ""
+		return res, nil
 	}
 
 	fset := token.NewFileSet()
@@ -104,7 +132,36 @@ func Unit(cfgPath string) (*analysis.Package, error) {
 		}
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
-	return &analysis.Package{
-		Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info,
-	}, nil
+
+	facts := analysis.NewFactSet()
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		deps = append(deps, path)
+	}
+	sort.Strings(deps)
+	for _, path := range deps {
+		file := cfg.PackageVetx[path]
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of dependency %s: %w", path, err)
+		}
+		if err := facts.Decode(data); err != nil {
+			return nil, fmt.Errorf("facts of dependency %s (%s): %w", path, file, err)
+		}
+	}
+
+	res.Pkg = &analysis.Package{
+		Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info, Facts: facts,
+	}
+	return res, nil
+}
+
+// WriteVetx encodes facts into the canonical .vetx wire form and writes
+// it to path.
+func WriteVetx(path string, facts *analysis.FactSet) error {
+	data, err := facts.Encode()
+	if err != nil {
+		return fmt.Errorf("encoding facts: %w", err)
+	}
+	return os.WriteFile(path, data, 0o666)
 }

@@ -120,6 +120,30 @@ type taintEngine struct {
 	emitting    bool
 }
 
+// taintEngineFor returns the package's memoized taint engine: walltime,
+// dettaint and the fact pass share one summary computation per package.
+// The engine only reads pass.Pkg (types, info, facts), so the first
+// pass's engine serves every later one.
+func taintEngineFor(pass *analysis.Pass) *taintEngine {
+	return pass.Pkg.Memo("lint.taintEngine", func() any {
+		return newTaintEngine(pass)
+	}).(*taintEngine)
+}
+
+// exportTaintFacts publishes every exported declaration's summary as a
+// TaintFact, including zero summaries: "introduces and propagates
+// nothing" is what lets a clock-tainted argument cross into a callee
+// known to keep it in the instrumentation family.
+func exportTaintFacts(pass *analysis.Pass) {
+	e := taintEngineFor(pass)
+	for fn, sum := range e.sums {
+		if !fn.Exported() {
+			continue
+		}
+		pass.ExportObjectFact(fn, &TaintFact{Ret: sum.ret, Escapes: sum.escapes, Sinks: sum.sinks, Src: sum.src})
+	}
+}
+
 // newTaintEngine builds the engine for one pass: summaries first, then
 // callers analyze units with analyze().
 func newTaintEngine(pass *analysis.Pass) *taintEngine {
@@ -767,9 +791,18 @@ func (e *taintEngine) evalCall(st analysis.TaintState, call *ast.CallExpr, emit 
 		return v
 	}
 
-	// Cross-package call: a clock-tainted operand handed to another
-	// package's API escapes the instrumentation family (time-package
-	// helpers were handled above).
+	// Cross-package callee with an exported taint fact (another module
+	// package already analyzed): apply it exactly like a local summary,
+	// so taint flows — and sanctioned handling is recognized — across
+	// package boundaries instead of stopping at one hop.
+	var tf TaintFact
+	if e.pass.ImportObjectFact(fn, &tf) {
+		return e.applySummary(call, taintSummary{ret: tf.Ret, escapes: tf.Escapes, sinks: tf.Sinks, src: tf.Src}, recvTaint, argTaints, emit)
+	}
+
+	// Cross-package call without a fact: a clock-tainted operand handed
+	// to another package's API escapes the instrumentation family
+	// (time-package helpers were handled above).
 	v := recvTaint
 	for _, a := range argTaints {
 		v = mergeVals(v, a)

@@ -1,0 +1,18 @@
+// Package helper is the cross-package half of the allocfree corpus:
+// Build's unconditional allocation travels to importers as an
+// AllocFact; Grow's cap-guarded amortized growth exports nothing.
+package helper
+
+// Build allocates a fresh slice on every call.
+func Build(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Grow reuses s when it is large enough: the amortized scratch-growth
+// shape, sanctioned in hot paths.
+func Grow(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,14 @@
+// Package rootsrc is the cross-package half of the ctxflow fact
+// corpus: Run mints its own context root outside the sanctioned
+// Run/RunCtx wrapper shape, which is a local diagnostic here and a
+// RootMintFact for every importer.
+package rootsrc
+
+import "context"
+
+// Run detaches its callee tree from any caller's cancellation.
+func Run() {
+	helper(context.Background()) // want "context.Background\\(\\) in library code"
+}
+
+func helper(ctx context.Context) { <-ctx.Done() }

@@ -1,0 +1,15 @@
+// Package ctxflowx holds a context but hands control to rootsrc.Run,
+// which mints its own root — a drop visible only through the imported
+// RootMintFact.
+package ctxflowx
+
+import (
+	"context"
+
+	"ctxflowx/rootsrc"
+)
+
+// Do drops ctx on the floor at the rootsrc.Run boundary.
+func Do(ctx context.Context) {
+	rootsrc.Run() // want "Do accepts a context but calls rootsrc.Run, which mints its own context root"
+}

@@ -1,0 +1,11 @@
+// Package wrapx is the cross-package half of the errverbatim corpus:
+// its exported wrapper folds an error parameter into a new error, and
+// that flow reaches importers only as an ErrWrapFact.
+package wrapx
+
+import "fmt"
+
+// Wrap annotates err with the failing operation.
+func Wrap(op string, err error) error {
+	return fmt.Errorf("%s: %w", op, err)
+}

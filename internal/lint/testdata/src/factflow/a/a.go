@@ -1,0 +1,22 @@
+// Package a is the producer half of the cross-package fact corpus: it
+// exports clock- and map-order-tainted functions whose TaintFacts are
+// the only way factflow/b's diagnostics can fire.
+package a
+
+import "time"
+
+// Stamp returns the wall clock. Time-typed all the way through, so it
+// is clean here — but its exported TaintFact records the clock in the
+// return mask for every importer.
+func Stamp() time.Time { return time.Now() }
+
+// Keys returns m's keys in map iteration order: the return-sink diag
+// below is local, and the exported TaintFact marks the return as
+// map-order tainted for importers.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "nondeterministic value .* reaches the result returned by Keys"
+}

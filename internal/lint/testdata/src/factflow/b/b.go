@@ -1,0 +1,26 @@
+// Package b is the consumer half of the cross-package fact corpus:
+// every want below depends on a TaintFact imported from factflow/a —
+// stub the fact store and this file is silent.
+package b
+
+import (
+	"fmt"
+	"hash"
+	"io"
+
+	"factflow/a"
+)
+
+// Leak hands the clock value from another package to an external API:
+// visible only through a.Stamp's TaintFact.
+func Leak(w io.Writer) {
+	fmt.Fprintln(w, a.Stamp()) // want "wall-clock read time.Now passed to fmt.Fprintln"
+}
+
+// Digest hashes map-iteration-order bytes minted in another package:
+// visible only through a.Keys's TaintFact.
+func Digest(h hash.Hash, m map[string]int) {
+	for _, k := range a.Keys(m) {
+		h.Write([]byte(k)) // want "nondeterministic value .* feeds the fingerprint/checkpoint hash"
+	}
+}

@@ -1,0 +1,13 @@
+// The watcher-over-a-worker-group shape: the literal blocks on a
+// WaitGroup the workers drain, so the group bounds its lifetime — no
+// directive needed (this is the coordinator's dead-watcher pattern).
+package goroleak
+
+import "sync"
+
+func watchGroup(dead *sync.WaitGroup, stop func()) {
+	go func() {
+		dead.Wait()
+		stop()
+	}()
+}

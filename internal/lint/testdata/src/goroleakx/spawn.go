@@ -1,0 +1,16 @@
+// Package goroleakx spawns another package's exported loops: the
+// Watch spawn is recognized as joined only through watcher's
+// BoundedFact — stub the fact store and it would be flagged too.
+package goroleakx
+
+import (
+	"sync"
+
+	"goroleakx/watcher"
+)
+
+// Spawn launches both loops: Watch is fact-bounded, Spin leaks.
+func Spawn(wg *sync.WaitGroup) {
+	go watcher.Watch(wg)
+	go watcher.Spin() // want "no context or channel to join it"
+}

@@ -1,0 +1,19 @@
+// Package watcher is the cross-package half of the goroleak fact
+// corpus: Watch is bounded by the WaitGroup it blocks on, and that
+// reaches importers only as a BoundedFact; Spin is unbounded and
+// exports nothing.
+package watcher
+
+import "sync"
+
+// Watch blocks until the group drains: the group both bounds it and
+// reaps it.
+func Watch(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// Spin runs forever with nothing to join it.
+func Spin() {
+	for {
+	}
+}

@@ -1,0 +1,14 @@
+// Package dep is the cross-package half of the speccoverage corpus:
+// its nohash annotation reaches the root package only as a NoHashFact,
+// and its unannotated Extra field is reported back at the root.
+package dep
+
+// Knobs is a spec fragment embedded in the root corpus spec.
+type Knobs struct {
+	// M keys the estimator grid and is hashed by the root.
+	M int
+	// Workers is excluded at the source; importers see the NoHashFact.
+	Workers int //sopslint:nohash parallelism knob, results are bit-identical for every count
+	// Extra is the added-but-forgotten knob the root never hashes.
+	Extra float64
+}

@@ -37,7 +37,7 @@ var Walltime = &analysis.Analyzer{
 var walltimeCalls = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runWalltime(pass *analysis.Pass) error {
-	eng := newTaintEngine(pass)
+	eng := taintEngineFor(pass)
 	for _, f := range pass.SourceFiles() {
 		for _, u := range analysis.Units(f) {
 			for _, ev := range eng.analyze(u) {

@@ -36,13 +36,13 @@ type EnsembleConfig struct {
 	// however that Sim.Workers 0 (serial pair sweep) and ≥ 1 (sharded)
 	// accumulate forces in different orders, so switching between those
 	// two modes changes trajectories at rounding level.
-	Workers int
+	Workers int //sopslint:nohash sample-level parallelism; results are bit-identical for every count
 	// Tokens, when non-nil, is a shared execution budget the sample
 	// workers draw from: each sample's full run holds one token. It lets
 	// several concurrently running ensembles (a sweep) share one global
 	// worker budget instead of each assuming the whole machine. Runtime
 	// only — never persisted; results never depend on it.
-	Tokens *workpool.Tokens
+	Tokens *workpool.Tokens //sopslint:nohash shared runtime budget; results never depend on it
 }
 
 // Trajectory is the recorded output of one sample: Frames[t][i] is the

@@ -78,7 +78,7 @@ type Config struct {
 	// them out over k goroutines. The sharded mode costs two force
 	// evaluations per pair but parallelises with no synchronisation on
 	// the force array.
-	Workers int
+	Workers int //sopslint:nohash force-accumulation workers within a mode are bit-identical; mode changes bump the checkpoint version instead
 }
 
 // WithDefaults returns a copy of c with unset (zero) numeric fields replaced

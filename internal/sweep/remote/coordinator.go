@@ -248,7 +248,6 @@ func (c *Coordinator) Sweep(ctx context.Context, specs []experiment.SweepSpec) (
 				_ = wait()
 			}()
 		}
-		//sopslint:ignore goroleak watcher exits once dead.Wait returns; workers are joined by Sweep's handler group, and failIfUnfinished is a no-op after the run completes
 		go func() {
 			// Every worker exiting with runs still outstanding means no
 			// one is left to requeue to: fail instead of hanging. When
